@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Every bench regenerates one of the paper's evaluation artifacts (see
+DESIGN.md §4) and prints its report table, so ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction log.
+
+``REPRO_BENCH_SCALE`` (default 0.3) scales scenario node counts; set it to
+1.0 for full paper-size runs.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+
+def run_once(benchmark, fn):
+    """Time one full run of *fn* (experiments are too heavy to repeat)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,22 @@
+"""E-ABL — design ablations from DESIGN.md.
+
+Expected shape: the combined index of Definition 4 yields no more critical
+nodes than the raw k-hop size (§II-C: the combination suppresses density
+noise), and the default loop strategy is at least as homotopy-accurate as
+the paper-pure Voronoi-witness rule.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_ablations
+
+
+def test_bench_ablations(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_ablations(scale=bench_scale))
+    print()
+    print(report.to_table())
+    ident = {r["variant"]: r for r in report.rows if r["ablation"] == "identification"}
+    combined = ident["index=(size+centrality)/2"]["critical_nodes"]
+    raw = ident["index=khop size only"]["critical_nodes"]
+    assert combined <= raw * 1.2  # combination does not inflate the set
+    strategies = {r["variant"]: r for r in report.rows if r["ablation"] == "loop_strategy"}
+    assert strategies["boundary"]["connected"]

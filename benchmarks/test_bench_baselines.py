@@ -1,0 +1,25 @@
+"""E-BASE — the paper's positioning against MAP and CASE.
+
+Expected shape (paper): the proposed method needs no boundary input yet
+stays competitive on medialness; the baselines work when fed true
+boundaries and degrade with detected ones — the gap that motivates
+boundary-freeness.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_baseline_comparison
+
+
+def test_bench_baselines(benchmark, bench_scale):
+    report = run_once(
+        benchmark, lambda: run_baseline_comparison(scale=bench_scale)
+    )
+    print()
+    print(report.to_table())
+    proposed = [r for r in report.rows if r["method"] == "proposed"]
+    assert proposed and all(not r["needs_boundaries"] for r in proposed)
+    baseline = [r for r in report.rows if r["method"] != "proposed"]
+    assert baseline and all(r["needs_boundaries"] for r in baseline)
+    for row in proposed:
+        assert row["connected"]
+        assert row["medialness"] < 4.0

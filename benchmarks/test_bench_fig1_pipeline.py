@@ -1,0 +1,20 @@
+"""E-FIG1 — Fig. 1: pipeline stages on the Window-shaped network.
+
+Expected shape (paper): each stage produces a meaningful artifact — a few
+dozen critical nodes, a connected coarse skeleton whose fake loops are
+removed, and a final connected skeleton homotopic to what the network
+preserves of the field.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig1_pipeline
+
+
+def test_bench_fig1_pipeline(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_fig1_pipeline(scale=bench_scale))
+    print()
+    print(report.to_table())
+    values = {row["stage_metric"]: row["value"] for row in report.rows}
+    assert values["critical_nodes"] >= 3
+    assert values["final_nodes"] > 0
+    assert values["coarse_nodes"] >= values["final_nodes"]

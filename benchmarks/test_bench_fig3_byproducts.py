@@ -1,0 +1,19 @@
+"""E-FIG3 — Fig. 3: the segmentation and boundary by-products.
+
+Expected shape (paper): the Voronoi decomposition segments every node into
+one cell per critical skeleton node, and the low-neighbourhood-size
+detector exposes the network boundaries with usable precision.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig3_byproducts
+
+
+def test_bench_fig3_byproducts(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_fig3_byproducts(scale=bench_scale))
+    print()
+    print(report.to_table())
+    values = {row["metric"]: row["value"] for row in report.rows}
+    assert values["segments"] >= 3
+    assert values["boundary_precision"] > 0.5
+    assert values["boundary_recall"] > 0.2

@@ -1,0 +1,35 @@
+"""E-FIG4 — Fig. 4: the ten evaluation scenarios.
+
+Expected shape (paper): on every scenario the skeleton is connected and
+medially placed, and its cycle count matches the holes the network
+preserves ("the obtained skeletons ... capture very well the global
+geometric and topological features").
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig4_scenarios
+
+
+def test_bench_fig4_scenarios(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_fig4_scenarios(scale=bench_scale))
+    print()
+    print(report.to_table())
+    assert len(report.rows) == 10
+    connected = sum(1 for row in report.rows if row["connected"])
+    homotopic = sum(1 for row in report.rows if row["homotopy_ok"])
+    assert connected == 10
+    # Hole recall is the strong claim: no preserved hole loses its loop.
+    # At reduced scale the hop resolution shrinks with the network, so the
+    # strict per-scenario check applies to (near-)full-size runs only.
+    missed = sum(
+        max(0, row["preserved_holes"] - row["cycles"]) for row in report.rows
+    )
+    if bench_scale >= 0.9:
+        assert missed == 0
+    else:
+        assert missed <= 1
+    # Phantom loops around severe density pockets cost some scenarios the
+    # exact count (documented limitation; see EXPERIMENTS.md).
+    assert homotopic >= 4
+    for row in report.rows:
+        assert row["medialness"] < 4.0

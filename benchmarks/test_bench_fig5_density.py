@@ -1,0 +1,21 @@
+"""E-FIG5 — Fig. 5: node-density sweep on the Window network.
+
+Expected shape (paper): "with the increase of node density, our algorithm
+produces very stable skeletons" — the skeleton stays connected and its
+point set barely moves between density levels.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig5_density
+
+
+def test_bench_fig5_density(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_fig5_density(scale=bench_scale))
+    print()
+    print(report.to_table())
+    assert len(report.rows) == 4
+    for row in report.rows:
+        assert row["connected"]
+    # Stability: later skeletons stay within a few radio ranges of the first.
+    drifts = [row["stability_vs_first"] for row in report.rows[1:]]
+    assert all(d < 12.0 for d in drifts)

@@ -1,0 +1,18 @@
+"""E-FIG6 — Fig. 6: robustness under the quasi-unit-disk radio model.
+
+Expected shape (paper): with alpha=0.4, p=0.3 the skeleton is "slightly
+rougher" but still connected, medial and topologically right.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig6_qudg
+
+
+def test_bench_fig6_qudg(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_fig6_qudg(scale=bench_scale))
+    print()
+    print(report.to_table())
+    assert len(report.rows) == 4  # (window, star) x (udg, qudg)
+    for row in report.rows:
+        assert row["connected"]
+        assert row["medialness"] < 4.5

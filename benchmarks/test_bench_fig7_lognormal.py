@@ -1,0 +1,21 @@
+"""E-FIG7 — Fig. 7: the log-normal shadowing radio model.
+
+Expected shape (paper): as epsilon grows 0 -> 3 the average degree rises
+sharply while the skeleton stays stable; larger epsilon even smooths it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig7_lognormal
+
+
+def test_bench_fig7_lognormal(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_fig7_lognormal(scale=bench_scale))
+    print()
+    print(report.to_table())
+    assert len(report.rows) == 4
+    degrees = [row["measured_degree"] for row in report.rows]
+    # Degree grows monotonically with epsilon (paper: 5.19 -> 20.69).
+    assert degrees == sorted(degrees)
+    assert degrees[-1] > 1.5 * degrees[0]
+    for row in report.rows:
+        assert row["connected"]

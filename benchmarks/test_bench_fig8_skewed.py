@@ -1,0 +1,18 @@
+"""E-FIG8 — Fig. 8: skewed node distributions.
+
+Expected shape (paper): thinning half the field ("drawn with probability
+0.65") leaves the skeleton comparable to the uniform case.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig8_skewed
+
+
+def test_bench_fig8_skewed(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_fig8_skewed(scale=bench_scale))
+    print()
+    print(report.to_table())
+    assert len(report.rows) == 2
+    for row in report.rows:
+        assert row["connected"]
+        assert row["medialness"] < 4.5

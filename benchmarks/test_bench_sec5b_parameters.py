@@ -1,0 +1,21 @@
+"""E-SEC5B — §V-B: sensitivity to the k and l parameters.
+
+Expected shape (paper): smaller k, l identify more critical skeleton nodes
+and create more fake loops, but the clean-up absorbs them — "one does not
+need to choose k and l very carefully".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_sec5b_parameters
+
+
+def test_bench_sec5b_parameters(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_sec5b_parameters(scale=bench_scale))
+    print()
+    print(report.to_table())
+    assert len(report.rows) == 5
+    criticals = [row["critical_nodes"] for row in report.rows]
+    # More critical nodes at k=2 than at k=6 (monotone trend, paper §V-B).
+    assert criticals[0] > criticals[-1]
+    for row in report.rows:
+        assert row["connected"]

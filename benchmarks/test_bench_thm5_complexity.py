@@ -1,0 +1,23 @@
+"""E-THM5 — Theorem 5: message and time complexity of the algorithm.
+
+Expected shape (paper): broadcasts grow linearly in n with at most
+k + l + local_max_hops + 1 per node (the paper's O((k+l+1)n) plus the
+index-comparison exchange its accounting folds into identification), and
+rounds grow sublinearly.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_thm5_complexity
+
+
+def test_bench_thm5_complexity(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_thm5_complexity(scale=bench_scale))
+    print()
+    print(report.to_table())
+    for row in report.rows:
+        assert row["broadcasts_per_node"] <= row["bound_k_plus_l_plus_1"] + 1
+        assert row["rounds"] < row["nodes"] / 4
+    # The linear-fit note must report an exponent close to 1.
+    note = next(n for n in report.notes if "broadcasts" in n)
+    exponent = float(note.split("n^")[1].split(" ")[0])
+    assert 0.9 < exponent < 1.1

@@ -1,0 +1,65 @@
+"""Connectivity-based and boundary-free skeleton extraction in sensor
+networks — a full reproduction of Liu et al., ICDCS 2012.
+
+Quickstart::
+
+    from repro import PAPER_SCENARIOS, SkeletonExtractor
+
+    network = PAPER_SCENARIOS["window"].build(seed=1)
+    result = SkeletonExtractor().extract(network)
+    print(result.stage_summary())
+
+Packages:
+
+* :mod:`repro.geometry` — fields, shapes, medial-axis ground truth;
+* :mod:`repro.network` — radio models, deployment, connectivity graphs;
+* :mod:`repro.runtime` — synchronous message-passing simulator;
+* :mod:`repro.core` — the paper's algorithm (centralized + distributed);
+* :mod:`repro.baselines` — MAP and CASE comparators;
+* :mod:`repro.analysis` — quality metrics, stability, complexity fits;
+* :mod:`repro.viz` — ASCII rendering and JSON/CSV export;
+* :mod:`repro.experiments` — one runner per paper figure.
+"""
+
+from .core import (
+    LoopStrategy,
+    SkeletonExtractor,
+    SkeletonParams,
+    SkeletonResult,
+    extract_skeleton,
+    run_distributed_stages,
+)
+from .geometry import Field, Point, make_field
+from .network import (
+    PAPER_SCENARIOS,
+    LogNormalRadio,
+    QuasiUnitDiskRadio,
+    Scenario,
+    SensorNetwork,
+    UnitDiskRadio,
+    build_network,
+    get_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LoopStrategy",
+    "SkeletonExtractor",
+    "SkeletonParams",
+    "SkeletonResult",
+    "extract_skeleton",
+    "run_distributed_stages",
+    "Field",
+    "Point",
+    "make_field",
+    "PAPER_SCENARIOS",
+    "LogNormalRadio",
+    "QuasiUnitDiskRadio",
+    "Scenario",
+    "SensorNetwork",
+    "UnitDiskRadio",
+    "build_network",
+    "get_scenario",
+    "__version__",
+]

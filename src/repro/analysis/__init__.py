@@ -1,0 +1,27 @@
+"""Evaluation: skeleton quality, stability, complexity fits, comparisons."""
+
+from .metrics import (
+    SkeletonQuality,
+    boundary_detection_quality,
+    evaluate_skeleton,
+    network_wraps_point,
+    preserved_holes,
+)
+from .stability import StabilityScore, skeleton_stability
+from .complexity import PowerLawFit, fit_power_law, messages_per_node
+from .comparison import ComparisonRow, compare_extractors
+
+__all__ = [
+    "SkeletonQuality",
+    "boundary_detection_quality",
+    "evaluate_skeleton",
+    "network_wraps_point",
+    "preserved_holes",
+    "StabilityScore",
+    "skeleton_stability",
+    "PowerLawFit",
+    "fit_power_law",
+    "messages_per_node",
+    "ComparisonRow",
+    "compare_extractors",
+]

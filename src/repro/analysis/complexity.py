@@ -1,0 +1,56 @@
+"""Empirical complexity fitting (Theorem 5).
+
+Theorem 5 claims O(√n) time (rounds) and O((k+l+1)·n) message complexity.
+The E-THM5 bench runs the distributed engine over growing networks and fits
+these scaling laws; this module does the fitting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "messages_per_node"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ≈ coefficient · x^exponent`` with an R² goodness measure."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of a power law in log–log space.
+
+    For Theorem 5 the expected exponents are ≈ 1 for broadcasts vs n and
+    ≈ 0.5 for rounds vs n.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) samples of equal length")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fitting needs positive samples")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = np.sum((log_y - predicted) ** 2)
+    total = np.sum((log_y - np.mean(log_y)) ** 2)
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=float(r_squared),
+    )
+
+
+def messages_per_node(broadcasts: int, num_nodes: int) -> float:
+    """Broadcasts per node — Theorem 5 bounds this by ≈ k + l + 1."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    return broadcasts / num_nodes

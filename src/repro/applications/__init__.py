@@ -1,0 +1,5 @@
+"""Applications built on extracted skeletons (the paper's motivation)."""
+
+from .routing import RoutingStudy, SkeletonName, SkeletonRouter, evaluate_routing
+
+__all__ = ["RoutingStudy", "SkeletonName", "SkeletonRouter", "evaluate_routing"]

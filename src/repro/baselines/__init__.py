@@ -1,0 +1,29 @@
+"""Comparator baselines: MAP and CASE, plus their boundary substrate.
+
+Both baselines assume identified boundaries — the assumption the paper
+removes.  They are faithful-in-structure reimplementations used by the
+comparison benches (E-BASE).
+"""
+
+from .boundary import (
+    boundary_components,
+    connectivity_boundary_nodes,
+    geometric_boundary_nodes,
+)
+from .witness import WitnessField, compute_witness_field
+from .map_skeleton import MapParams, MapResult, extract_map_skeleton
+from .case_skeleton import CaseParams, CaseResult, extract_case_skeleton
+
+__all__ = [
+    "boundary_components",
+    "connectivity_boundary_nodes",
+    "geometric_boundary_nodes",
+    "WitnessField",
+    "compute_witness_field",
+    "MapParams",
+    "MapResult",
+    "extract_map_skeleton",
+    "CaseParams",
+    "CaseResult",
+    "extract_case_skeleton",
+]

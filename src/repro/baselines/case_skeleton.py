@@ -1,0 +1,186 @@
+"""CASE baseline — connectivity-based skeleton extraction with known
+boundaries.
+
+Jiang et al.'s CASE (INFOCOM'09 / TPDS'10) is the second comparator the
+paper names.  CASE also assumes boundary nodes are given; its novelty is
+boundary *segmentation*: corner points split each boundary cycle into
+branches, and a node is a skeleton node when its two nearest boundary
+witnesses belong to *different* branches — this controls boundary noise
+(a small bump cannot spawn a long skeleton branch because both witnesses
+stay on the same branch).
+
+Implementation outline:
+
+1. order each boundary cycle by angle around its centroid (legitimate —
+   CASE operates with identified boundaries),
+2. detect corners as local extrema of the discrete turning angle over a
+   sliding window,
+3. split cycles into branches at corners,
+4. mark skeleton nodes by the different-branch witness rule,
+5. connect and prune like MAP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.refine import SkeletonGraph, prune_short_branches
+from ..network.graph import SensorNetwork
+from .boundary import boundary_components
+from .map_skeleton import _clearance_weighted_path, _skeleton_components
+from .witness import WitnessField, compute_witness_field
+
+__all__ = ["CaseParams", "CaseResult", "extract_case_skeleton"]
+
+
+@dataclass(frozen=True)
+class CaseParams:
+    """CASE knobs.
+
+    Attributes:
+        corner_window: how many ordered boundary neighbours on each side
+            feed the turning-angle estimate.
+        corner_threshold_degrees: minimum turning angle for a corner (the
+            user-defined threshold that controls boundary noise in CASE).
+        min_clearance: skeleton nodes closer than this many hops to the
+            boundary are rejected.
+        prune_length: dangling branches shorter than this are trimmed.
+    """
+
+    corner_window: int = 4
+    corner_threshold_degrees: float = 45.0
+    min_clearance: int = 2
+    prune_length: int = 3
+
+
+@dataclass
+class CaseResult:
+    """CASE's output: branches, skeleton node set and the connected axis."""
+
+    skeleton_seed_nodes: Set[int]
+    skeleton: SkeletonGraph
+    branch_of: Dict[int, int]
+    corners: Set[int]
+
+    @property
+    def num_branches(self) -> int:
+        return len(set(self.branch_of.values()))
+
+    @property
+    def skeleton_nodes(self) -> Set[int]:
+        return self.skeleton.nodes
+
+
+def _order_cycle(network: SensorNetwork, component: Set[int]) -> List[int]:
+    """Order one boundary cycle's nodes by angle around its centroid."""
+    xs = [network.positions[v].x for v in component]
+    ys = [network.positions[v].y for v in component]
+    cx, cy = sum(xs) / len(xs), sum(ys) / len(ys)
+    return sorted(
+        component,
+        key=lambda v: math.atan2(
+            network.positions[v].y - cy, network.positions[v].x - cx
+        ),
+    )
+
+
+def _detect_corners(network: SensorNetwork, ordered: Sequence[int],
+                    window: int, threshold_degrees: float) -> Set[int]:
+    """Corners: nodes where the boundary turns sharply over the window."""
+    n = len(ordered)
+    if n < 2 * window + 1:
+        return set()
+    corners: Set[int] = set()
+    threshold = math.radians(threshold_degrees)
+    for i in range(n):
+        p_prev = network.positions[ordered[(i - window) % n]]
+        p_here = network.positions[ordered[i]]
+        p_next = network.positions[ordered[(i + window) % n]]
+        v1 = (p_here.x - p_prev.x, p_here.y - p_prev.y)
+        v2 = (p_next.x - p_here.x, p_next.y - p_here.y)
+        n1 = math.hypot(*v1)
+        n2 = math.hypot(*v2)
+        if n1 < 1e-9 or n2 < 1e-9:
+            continue
+        cos_turn = (v1[0] * v2[0] + v1[1] * v2[1]) / (n1 * n2)
+        cos_turn = max(-1.0, min(1.0, cos_turn))
+        if math.acos(cos_turn) >= threshold:
+            corners.add(ordered[i])
+    return corners
+
+
+def _split_branches(ordered: Sequence[int], corners: Set[int],
+                    first_branch: int) -> Dict[int, int]:
+    """Assign a branch id to each node of one ordered cycle."""
+    branch_of: Dict[int, int] = {}
+    if not corners:
+        for v in ordered:
+            branch_of[v] = first_branch
+        return branch_of
+    # Start counting at the first corner so branches are contiguous arcs.
+    n = len(ordered)
+    start = next(i for i, v in enumerate(ordered) if v in corners)
+    branch = first_branch
+    for off in range(n):
+        v = ordered[(start + off) % n]
+        if v in corners and off:
+            branch += 1
+        branch_of[v] = branch
+    return branch_of
+
+
+def extract_case_skeleton(network: SensorNetwork, boundary_nodes: Set[int],
+                          params: Optional[CaseParams] = None) -> CaseResult:
+    """Run CASE on *network* given *boundary_nodes*."""
+    params = params if params is not None else CaseParams()
+    if not boundary_nodes:
+        raise ValueError("CASE requires identified boundary nodes")
+    field = compute_witness_field(network, boundary_nodes)
+    components = boundary_components(network, boundary_nodes)
+
+    branch_of: Dict[int, int] = {}
+    corners: Set[int] = set()
+    next_branch = 0
+    for component in components:
+        ordered = _order_cycle(network, component)
+        cycle_corners = _detect_corners(
+            network, ordered, params.corner_window, params.corner_threshold_degrees
+        )
+        corners |= cycle_corners
+        branch_of.update(_split_branches(ordered, cycle_corners, next_branch))
+        next_branch = max(branch_of.values(), default=next_branch) + 1
+
+    seeds: Set[int] = set()
+    for v in network.nodes():
+        if field.clearance(v) < params.min_clearance:
+            continue
+        witnesses = field.witnesses[v]
+        branches = {branch_of[w] for w in witnesses if w in branch_of}
+        if len(branches) >= 2:
+            seeds.add(v)
+
+    graph = SkeletonGraph(nodes=set(seeds), edges=set())
+    for u in seeds:
+        for v in network.neighbors(u):
+            if v in seeds and u < v:
+                graph.edges.add(frozenset((u, v)))
+    components_s = _skeleton_components(graph)
+    while len(components_s) > 1:
+        base = components_s[0]
+        rest: Set[int] = set().union(*components_s[1:])
+        path = _clearance_weighted_path(network, field, base, rest)
+        if path is None:
+            break
+        graph.add_path(path)
+        graph.nodes.update(path)
+        components_s = _skeleton_components(graph)
+
+    graph = prune_short_branches(graph, params.prune_length)
+    return CaseResult(
+        skeleton_seed_nodes=seeds,
+        skeleton=graph,
+        branch_of=branch_of,
+        corners=corners,
+    )

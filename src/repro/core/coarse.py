@@ -1,0 +1,161 @@
+"""Coarse skeleton establishment (Section III-C).
+
+For every pair of adjacent Voronoi cells, the segment node with the largest
+index sends a message down the two reverse paths it recorded during cell
+construction, connecting the pair's sites.  The union of all those paths is
+the coarse skeleton — a subgraph of the network whose vertices are "skeleton
+nodes" from here on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..network.graph import SensorNetwork
+from .params import SkeletonParams
+from .voronoi import SitePair, VoronoiDecomposition
+
+__all__ = ["SkeletonEdge", "CoarseSkeleton", "build_coarse_skeleton"]
+
+SkeletonEdge = FrozenSet[int]
+"""An undirected skeleton edge between two network nodes."""
+
+
+@dataclass
+class CoarseSkeleton:
+    """A skeleton as a subgraph of the sensor network.
+
+    Attributes:
+        nodes: all skeleton nodes (sites, connectors, path nodes).
+        edges: undirected edges between consecutive path nodes.
+        sites: the critical skeleton nodes the skeleton connects.
+        connectors: per adjacent pair, the chosen segment node.
+        pair_paths: per adjacent pair, the full site-to-site node path
+            (through the connector).
+    """
+
+    network: SensorNetwork
+    nodes: Set[int]
+    edges: Set[SkeletonEdge]
+    sites: List[int]
+    connectors: Dict[SitePair, int] = field(default_factory=dict)
+    pair_paths: Dict[SitePair, List[int]] = field(default_factory=dict)
+
+    def degree(self, node: int) -> int:
+        return sum(1 for e in self.edges if node in e)
+
+    def neighbors_in_skeleton(self, node: int) -> List[int]:
+        out = []
+        for e in self.edges:
+            if node in e:
+                a, b = tuple(e)
+                out.append(b if a == node else a)
+        return sorted(out)
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Adjacency map of the skeleton subgraph."""
+        adj: Dict[int, Set[int]] = {v: set() for v in self.nodes}
+        for e in self.edges:
+            a, b = tuple(e)
+            adj[a].add(b)
+            adj[b].add(a)
+        return adj
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes)
+        g.add_edges_from(tuple(e) for e in self.edges)
+        return g
+
+    def is_connected(self) -> bool:
+        if not self.nodes:
+            return True
+        adj = self.adjacency()
+        start = next(iter(self.nodes))
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == len(self.nodes)
+
+    def cycle_rank(self) -> int:
+        """Number of independent cycles: |E| - |V| + #components."""
+        adj = self.adjacency()
+        seen: Set[int] = set()
+        components = 0
+        for start in self.nodes:
+            if start in seen:
+                continue
+            components += 1
+            seen.add(start)
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+        return len(self.edges) - len(self.nodes) + components
+
+
+def _path_edges(path: Sequence[int]) -> List[SkeletonEdge]:
+    return [frozenset((path[i], path[i + 1])) for i in range(len(path) - 1)]
+
+
+def build_coarse_skeleton(
+    voronoi: VoronoiDecomposition,
+    index: Sequence[float],
+    params: Optional[SkeletonParams] = None,
+) -> CoarseSkeleton:
+    """Connect all adjacent sites through their best segment nodes.
+
+    The connector for a pair is the segment node with the largest index
+    among all segment nodes recording both sites (ties broken by node id,
+    the discrete stand-in for "the chosen segment node" being unique).
+    """
+    params = params if params is not None else SkeletonParams()
+    network = voronoi.network
+    nodes: Set[int] = set(voronoi.sites)
+    edges: Set[SkeletonEdge] = set()
+    connectors: Dict[SitePair, int] = {}
+    pair_paths: Dict[SitePair, List[int]] = {}
+
+    for pair in voronoi.adjacent_pairs():
+        site_a, site_b = pair
+        candidates = voronoi.pair_segments.get(pair, [])
+        if candidates:
+            connector = max(candidates, key=lambda v: (index[v], v))
+            connectors[pair] = connector
+            path_a = voronoi.path_to_site(connector, site_a)
+            path_b = voronoi.path_to_site(connector, site_b)
+            # Full site-to-site path: reverse of path_a (site_a .. connector)
+            # followed by path_b (connector .. site_b).
+            full = list(reversed(path_a)) + path_b[1:]
+        else:
+            # Low-density fallback (no segment node on this border): route
+            # through the best edge crossing the border.
+            border = voronoi.pair_border_edges[pair]
+            u, v = max(border, key=lambda e: (index[e[0]] + index[e[1]], e))
+            connectors[pair] = u if index[u] >= index[v] else v
+            path_a = voronoi.path_to_site(u, site_a)
+            path_b = voronoi.path_to_site(v, site_b)
+            full = list(reversed(path_a)) + path_b
+        pair_paths[pair] = full
+        nodes.update(full)
+        edges.update(_path_edges(full))
+
+    return CoarseSkeleton(
+        network=network,
+        nodes=nodes,
+        edges=edges,
+        sites=list(voronoi.sites),
+        connectors=connectors,
+        pair_paths=pair_paths,
+    )

@@ -1,0 +1,52 @@
+"""Critical skeleton node identification (Definitions 2–5).
+
+A node whose index is locally maximal declares itself a *critical skeleton
+node* (Definition 5).  "Locally maximal" is evaluated over the node's
+``local_max_hops``-hop neighbourhood; ties are broken by node id so that a
+plateau of equal indices elects exactly one critical node instead of zero
+(strict comparison) or all (non-strict) — the discrete networks the paper
+targets make exact ties common at small k.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..network.graph import SensorNetwork
+from .neighborhood import IndexData, compute_indices
+from .params import SkeletonParams
+
+__all__ = ["find_critical_nodes", "is_locally_maximal"]
+
+
+def is_locally_maximal(network: SensorNetwork, node: int,
+                       values: Sequence[float], hops: int = 1) -> bool:
+    """True when ``(values[node], node)`` beats all of node's *hops*-hop
+    neighbours lexicographically."""
+    mine = (values[node], node)
+    reach = network.bfs_distances(node, max_hops=hops)
+    for other in reach:
+        if other == node:
+            continue
+        if (values[other], other) > mine:
+            return False
+    return True
+
+
+def find_critical_nodes(network: SensorNetwork,
+                        index_data: Optional[IndexData] = None,
+                        params: Optional[SkeletonParams] = None) -> List[int]:
+    """All critical skeleton nodes of the network, in id order.
+
+    Guarantees at least one critical node on a non-empty network: the global
+    maximum of the (index, id) order is locally maximal everywhere.
+    """
+    params = params if params is not None else SkeletonParams()
+    if index_data is None:
+        index_data = compute_indices(network, params)
+    values = index_data.index
+    return [
+        node
+        for node in network.nodes()
+        if is_locally_maximal(network, node, values, hops=params.local_max_hops)
+    ]

@@ -1,0 +1,92 @@
+"""The end-to-end skeleton extraction pipeline (Section III).
+
+:class:`SkeletonExtractor` chains the four stages of the paper's algorithm —
+skeleton node identification, Voronoi cell construction, coarse skeleton
+establishment and final clean-up — over pure connectivity.  Positions and
+the deployment field are never consulted; they ride along solely for
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..network.graph import SensorNetwork
+from .byproducts import detect_boundary_nodes, segmentation_from_voronoi
+from .coarse import build_coarse_skeleton
+from .identification import find_critical_nodes
+from .loops import identify_loops
+from .neighborhood import compute_indices
+from .params import SkeletonParams
+from .refine import refine_skeleton
+from .result import SkeletonResult
+from .voronoi import build_voronoi
+
+__all__ = ["SkeletonExtractor", "extract_skeleton"]
+
+
+class SkeletonExtractor:
+    """Boundary-free, connectivity-only skeleton extraction.
+
+    Usage::
+
+        extractor = SkeletonExtractor(SkeletonParams(k=4, l=4))
+        result = extractor.extract(network)
+        result.skeleton_nodes        # the refined skeleton
+        result.segmentation         # by-product 1 (Fig. 3a)
+        result.boundary_nodes       # by-product 2 (Fig. 3b)
+    """
+
+    def __init__(self, params: Optional[SkeletonParams] = None):
+        self.params = params if params is not None else SkeletonParams()
+
+    def extract(self, network: SensorNetwork) -> SkeletonResult:
+        """Run all four stages and return the full result record."""
+        if network.num_nodes == 0:
+            raise ValueError("cannot extract a skeleton from an empty network")
+        params = self.params
+
+        # Stage 1 — skeleton node identification (Fig. 1b).
+        index_data = compute_indices(network, params)
+        critical = find_critical_nodes(network, index_data, params)
+
+        # Stage 2 — Voronoi cells and segment nodes (Fig. 1c).
+        voronoi = build_voronoi(network, critical, params)
+
+        # Stage 3 — coarse skeleton (Fig. 1d).
+        coarse = build_coarse_skeleton(voronoi, index_data.index, params)
+
+        # By-product 2 first (Fig. 3b): the boundary nodes double as the
+        # hole evidence for loop classification.
+        boundary = detect_boundary_nodes(
+            network, index_data.khop_sizes, params.boundary_threshold_factor
+        )
+
+        # Stage 4 — identify loops, drop fakes, prune (Fig. 1e–h).
+        analysis = identify_loops(
+            coarse, voronoi, params,
+            boundary_nodes=boundary, index=index_data.index,
+        )
+        skeleton = refine_skeleton(coarse, analysis, voronoi, params)
+
+        # By-product 1 (Fig. 3a).
+        segmentation = segmentation_from_voronoi(voronoi)
+
+        return SkeletonResult(
+            network=network,
+            params=params,
+            index_data=index_data,
+            critical_nodes=critical,
+            voronoi=voronoi,
+            coarse=coarse,
+            loop_analysis=analysis,
+            skeleton=skeleton,
+            segmentation=segmentation,
+            boundary_nodes=boundary,
+        )
+
+
+def extract_skeleton(network: SensorNetwork,
+                     params: Optional[SkeletonParams] = None) -> SkeletonResult:
+    """One-call convenience wrapper around :class:`SkeletonExtractor`."""
+    return SkeletonExtractor(params).extract(network)

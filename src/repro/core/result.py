@@ -1,0 +1,103 @@
+"""The full record of one skeleton extraction run.
+
+Every intermediate artifact of Fig. 1 (b)–(h) is retained so experiments,
+tests and renders can inspect any stage: indices, critical nodes, Voronoi
+cells, segment nodes, the coarse skeleton, classified loops, and the refined
+skeleton, plus the two by-products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..network.graph import SensorNetwork
+from .byproducts import Segmentation
+from .coarse import CoarseSkeleton
+from .loops import Loop, LoopAnalysis
+from .neighborhood import IndexData
+from .params import SkeletonParams
+from .refine import SkeletonGraph
+from .voronoi import VoronoiDecomposition
+
+__all__ = ["SkeletonResult"]
+
+
+@dataclass
+class SkeletonResult:
+    """Everything produced by one :class:`~repro.core.pipeline.SkeletonExtractor` run."""
+
+    network: SensorNetwork
+    params: SkeletonParams
+    index_data: IndexData
+    critical_nodes: List[int]
+    voronoi: VoronoiDecomposition
+    coarse: CoarseSkeleton
+    loop_analysis: LoopAnalysis
+    skeleton: SkeletonGraph
+    segmentation: Segmentation
+    boundary_nodes: Set[int]
+
+    @property
+    def loops(self) -> List[Loop]:
+        """All analysed cycles (genuine survivors + removed fakes)."""
+        return self.loop_analysis.loops
+
+    # -- convenience views -------------------------------------------------
+
+    @property
+    def skeleton_nodes(self) -> Set[int]:
+        """Nodes of the final, refined skeleton."""
+        return self.skeleton.nodes
+
+    @property
+    def num_critical(self) -> int:
+        return len(self.critical_nodes)
+
+    @property
+    def num_segment_nodes(self) -> int:
+        return len(self.voronoi.segment_nodes)
+
+    @property
+    def genuine_loops(self) -> List[Loop]:
+        return [loop for loop in self.loops if not loop.is_fake]
+
+    @property
+    def fake_loops(self) -> List[Loop]:
+        return [loop for loop in self.loops if loop.is_fake]
+
+    def final_cycle_rank(self) -> int:
+        """Independent cycles in the refined skeleton.
+
+        For a homotopy-correct extraction this equals the number of holes in
+        the deployment field.
+        """
+        return self.skeleton.cycle_rank()
+
+    def is_homotopic_to_field(self) -> Optional[bool]:
+        """Compare the final cycle rank to the field's hole count.
+
+        Returns None when the network does not know its field (extraction
+        itself never uses it; this is evaluation only).
+        """
+        field = self.network.field
+        if field is None:
+            return None
+        return self.final_cycle_rank() == field.num_holes
+
+    def stage_summary(self) -> Dict[str, float]:
+        """One row of the Fig. 1 pipeline-stage accounting."""
+        return {
+            "nodes": self.network.num_nodes,
+            "avg_degree": round(self.network.average_degree, 2),
+            "critical_nodes": self.num_critical,
+            "segment_nodes": self.num_segment_nodes,
+            "voronoi_nodes": len(self.voronoi.voronoi_nodes),
+            "coarse_nodes": len(self.coarse.nodes),
+            "coarse_cycles": self.coarse.cycle_rank(),
+            "fake_loops": len(self.fake_loops),
+            "genuine_loops": len(self.genuine_loops),
+            "final_nodes": len(self.skeleton.nodes),
+            "final_cycles": self.final_cycle_rank(),
+            "boundary_nodes": len(self.boundary_nodes),
+        }

@@ -1,0 +1,78 @@
+"""Shared experiment harness.
+
+Every experiment runner produces an :class:`ExperimentReport` — a titled
+list of uniform rows — and prints it as an aligned table, mirroring how the
+paper's figures would be read off as numbers.  Runners accept a ``scale``
+in (0, 1] that shrinks node counts proportionally so the same code serves
+quick benchmarks and full-size reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["ExperimentReport", "scaled_nodes"]
+
+Value = Union[int, float, str, bool]
+
+
+def scaled_nodes(num_nodes: int, scale: float) -> int:
+    """Scale a scenario's node count, keeping a usable minimum."""
+    if not 0 < scale <= 1:
+        raise ValueError("scale must be in (0, 1]")
+    return max(150, int(round(num_nodes * scale)))
+
+
+@dataclass
+class ExperimentReport:
+    """A titled table of experiment rows."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Value]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Value) -> None:
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def columns(self) -> List[str]:
+        seen: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def to_table(self) -> str:
+        """Render the report as an aligned text table."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        cols = self.columns()
+        if cols:
+            rendered = [
+                [self._fmt(row.get(c, "")) for c in cols] for row in self.rows
+            ]
+            widths = [
+                max(len(c), *(len(r[i]) for r in rendered)) if rendered else len(c)
+                for i, c in enumerate(cols)
+            ]
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+            for r in rendered:
+                lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value: Value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors rich-style APIs
+        print(self.to_table())

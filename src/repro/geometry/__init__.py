@@ -1,0 +1,33 @@
+"""Continuous-domain geometry substrate.
+
+Provides the planar primitives, polygonal deployment fields (with holes),
+the paper's evaluation shapes, a ground-truth medial-axis approximation and
+the disk-intersection-area machinery behind the paper's Theorems 1–3.
+"""
+
+from .primitives import BoundingBox, Point, dist
+from .polygon import Field, Ring
+from .shapes import SHAPES, make_field
+from .medial_axis import MedialAxisApproximation, approximate_medial_axis
+from .diskarea import (
+    chord_points,
+    disk_samples,
+    epsilon_centrality,
+    intersection_area,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "dist",
+    "Field",
+    "Ring",
+    "SHAPES",
+    "make_field",
+    "MedialAxisApproximation",
+    "approximate_medial_axis",
+    "chord_points",
+    "disk_samples",
+    "epsilon_centrality",
+    "intersection_area",
+]

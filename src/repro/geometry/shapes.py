@@ -1,0 +1,376 @@
+"""The deployment-field shapes used in the paper's evaluation.
+
+Section IV evaluates the algorithm on eleven named topologies: the
+Window-shaped network of Fig. 1 and the ten scenarios of Fig. 4 (one-hole,
+flower, smile, music, airplane, cactus, star-hole, spiral, two-holes, star).
+This module builds each of them as a :class:`~repro.geometry.polygon.Field`
+— an outer ring plus hole rings — at a canonical ~100-unit scale, along with
+a handful of simpler shapes used by the tests.
+
+Every factory is registered in :data:`SHAPES` so scenarios and experiments
+can look fields up by name.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from .polygon import Field, Ring
+from .primitives import Point
+
+__all__ = [
+    "SHAPES",
+    "make_field",
+    "circle_ring",
+    "rectangle_ring",
+    "star_ring",
+    "polar_ring",
+    "window",
+    "one_hole",
+    "flower",
+    "smile",
+    "music",
+    "airplane",
+    "cactus",
+    "star_hole",
+    "spiral",
+    "two_holes",
+    "star",
+    "rectangle",
+    "disk",
+    "annulus",
+    "cross",
+    "h_shape",
+    "l_shape",
+]
+
+
+# ---------------------------------------------------------------------------
+# Ring builders
+# ---------------------------------------------------------------------------
+
+def circle_ring(cx: float, cy: float, radius: float, segments: int = 48) -> Ring:
+    """A regular-polygon approximation of a circle."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    pts = [
+        Point(
+            cx + radius * math.cos(2 * math.pi * i / segments),
+            cy + radius * math.sin(2 * math.pi * i / segments),
+        )
+        for i in range(segments)
+    ]
+    return Ring(pts)
+
+
+def rectangle_ring(x0: float, y0: float, x1: float, y1: float) -> Ring:
+    """An axis-aligned rectangle ring."""
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError("rectangle must have positive extent")
+    return Ring([Point(x0, y0), Point(x1, y0), Point(x1, y1), Point(x0, y1)])
+
+
+def star_ring(cx: float, cy: float, outer_r: float, inner_r: float,
+              points: int = 5, rotation: float = math.pi / 2) -> Ring:
+    """A star polygon alternating between *outer_r* and *inner_r*."""
+    if points < 3:
+        raise ValueError("a star needs at least 3 points")
+    verts: List[Point] = []
+    for i in range(points * 2):
+        r = outer_r if i % 2 == 0 else inner_r
+        angle = rotation + math.pi * i / points
+        verts.append(Point(cx + r * math.cos(angle), cy + r * math.sin(angle)))
+    return Ring(verts)
+
+
+def polar_ring(cx: float, cy: float, radius_fn: Callable[[float], float],
+               segments: int = 180) -> Ring:
+    """A ring traced by ``r = radius_fn(theta)`` around ``(cx, cy)``."""
+    pts = []
+    for i in range(segments):
+        theta = 2 * math.pi * i / segments
+        r = radius_fn(theta)
+        if r <= 0:
+            raise ValueError("radius_fn must stay positive")
+        pts.append(Point(cx + r * math.cos(theta), cy + r * math.sin(theta)))
+    return Ring(pts)
+
+
+# ---------------------------------------------------------------------------
+# Paper scenario shapes (Fig. 1 and Fig. 4)
+# ---------------------------------------------------------------------------
+
+def window() -> Field:
+    """The Window-shaped network of Fig. 1: a frame with four panes.
+
+    Four square holes arranged 2x2 leave a window-frame region whose
+    skeleton is a grid of corridors with four genuine loops.
+    """
+    outer = rectangle_ring(0, 0, 100, 100)
+    pane = 26.0
+    gap = (100.0 - 2 * pane) / 3.0  # three bars of equal width
+    holes = []
+    for ix in range(2):
+        for iy in range(2):
+            x0 = gap + ix * (pane + gap)
+            y0 = gap + iy * (pane + gap)
+            holes.append(rectangle_ring(x0, y0, x0 + pane, y0 + pane))
+    return Field(outer=outer, holes=holes, name="window")
+
+
+def one_hole() -> Field:
+    """Fig. 4 (a): a network with one concave hole."""
+    outer = rectangle_ring(0, 0, 100, 80)
+    # A plus/cross-shaped (concave) hole in the middle.
+    hole = Ring([
+        Point(40, 25), Point(60, 25), Point(60, 33), Point(68, 33),
+        Point(68, 47), Point(60, 47), Point(60, 55), Point(40, 55),
+        Point(40, 47), Point(32, 47), Point(32, 33), Point(40, 33),
+    ])
+    return Field(outer=outer, holes=[hole], name="one_hole")
+
+
+def flower() -> Field:
+    """Fig. 4 (b): a flower with petals (polar cosine modulation)."""
+    outer = polar_ring(
+        50, 50,
+        lambda t: 32.0 + 14.0 * math.cos(5 * t),
+        segments=240,
+    )
+    return Field(outer=outer, holes=[], name="flower")
+
+
+def smile() -> Field:
+    """Fig. 4 (c): a smiley face — a disk with two eye holes and a mouth."""
+    outer = circle_ring(50, 50, 48, segments=96)
+    left_eye = circle_ring(33, 64, 9, segments=32)
+    right_eye = circle_ring(67, 64, 9, segments=32)
+    # Curved mouth: a crescent-ish polygon below the centre.
+    mouth_pts = []
+    for i in range(25):
+        t = math.pi * (1 + i / 24.0)  # lower arc, left to right
+        mouth_pts.append(Point(50 + 26 * math.cos(t), 38 + 14 * math.sin(t)))
+    for i in range(25):
+        t = math.pi * (2 - i / 24.0)  # return arc, shallower
+        mouth_pts.append(Point(50 + 26 * math.cos(t), 44 + 7 * math.sin(t)))
+    mouth = Ring(mouth_pts)
+    return Field(outer=outer, holes=[left_eye, right_eye, mouth], name="smile")
+
+
+def music() -> Field:
+    """Fig. 4 (d): a musical-note shape (head, stem and flag).
+
+    Traced counter-clockwise: along the bottom of the head, up the combined
+    right edge of head and stem, out and back around the drooping flag,
+    across the stem top, then down the stem's left side and over the head.
+    """
+    pts = [
+        # Note head (lower-left blob).
+        Point(12, 8), Point(44, 8),
+        # Right edge of head and stem, rising to the flag root.
+        Point(44, 66),
+        # Flag underside, drooping right.
+        Point(56, 62), Point(64, 52), Point(66, 48),
+        # Flag topside, back to the stem.
+        Point(64, 58), Point(54, 70), Point(44, 80),
+        # Top of the stem.
+        Point(44, 92), Point(36, 92),
+        # Down the stem's left side and across the head top.
+        Point(36, 26), Point(12, 26),
+    ]
+    return Field(outer=Ring(pts), holes=[], name="music")
+
+
+def airplane() -> Field:
+    """Fig. 4 (e): an airplane silhouette (fuselage, wings, tail)."""
+    pts = [
+        # Nose, then along the top of the fuselage (flying along +x).
+        Point(96, 50), Point(90, 54), Point(60, 56),
+        # Leading edge of the left (upper) wing.
+        Point(52, 90), Point(42, 90), Point(46, 56),
+        # Fuselage towards tail, upper side.
+        Point(22, 55),
+        # Left tailplane.
+        Point(16, 72), Point(8, 72), Point(11, 54),
+        # Tail end.
+        Point(4, 52), Point(4, 48),
+        # Right tailplane (mirror).
+        Point(11, 46), Point(8, 28), Point(16, 28),
+        Point(22, 45),
+        # Fuselage lower side and right (lower) wing.
+        Point(46, 44), Point(42, 10), Point(52, 10),
+        Point(60, 44), Point(90, 46),
+    ]
+    return Field(outer=Ring(pts), holes=[], name="airplane")
+
+
+def cactus() -> Field:
+    """Fig. 4 (f): a saguaro cactus — trunk with two side arms."""
+    pts = [
+        # Base of the trunk.
+        Point(42, 4), Point(58, 4),
+        # Up the right side to the right arm.
+        Point(58, 40),
+        Point(74, 40), Point(74, 24), Point(86, 24), Point(86, 52),
+        Point(58, 52),
+        # Continue up to the top of the trunk.
+        Point(58, 92), Point(42, 92),
+        # Down the left side to the left arm.
+        Point(42, 66),
+        Point(26, 66), Point(26, 78), Point(14, 78), Point(14, 54),
+        Point(42, 54),
+    ]
+    return Field(outer=Ring(pts), holes=[], name="cactus")
+
+
+def star_hole() -> Field:
+    """Fig. 4 (g): a rectangular field with a star-shaped hole."""
+    outer = rectangle_ring(0, 0, 100, 100)
+    hole = star_ring(50, 50, 26, 12, points=5)
+    return Field(outer=outer, holes=[hole], name="star_hole")
+
+
+def spiral(turns: float = 1.75, corridor: float = 10.0) -> Field:
+    """Fig. 4 (h): a spiral corridor.
+
+    The outer boundary follows an Archimedean spiral outward and the inner
+    boundary retraces it offset by *corridor*, producing a corridor of
+    constant width that wraps *turns* times.
+    """
+    cx, cy = 50.0, 50.0
+    a = 8.0   # inner start radius
+    theta_max = 2 * math.pi * turns
+    b = (46.0 - a - corridor) / theta_max  # growth rate keeps it in frame
+    if b * 2 * math.pi <= corridor:
+        raise ValueError(
+            "spiral would overlap itself: reduce corridor or turns "
+            f"(per-turn growth {b * 2 * math.pi:.2f} <= corridor {corridor:.2f})"
+        )
+
+    def radius(theta: float) -> float:
+        return a + b * theta
+
+    steps = max(60, int(40 * turns))
+    outer_pts = []
+    for i in range(steps + 1):
+        t = theta_max * i / steps
+        r = radius(t) + corridor
+        outer_pts.append(Point(cx + r * math.cos(t), cy + r * math.sin(t)))
+    # Cap at the spiral's outer end.
+    end_t = theta_max
+    inner_pts = []
+    for i in range(steps + 1):
+        t = end_t * (steps - i) / steps
+        r = radius(t)
+        inner_pts.append(Point(cx + r * math.cos(t), cy + r * math.sin(t)))
+    # Close across the spiral mouth at theta=0 (from inner start back to
+    # the outer start) — the ring is outer spiral out, inner spiral back.
+    return Field(outer=Ring(outer_pts + inner_pts), holes=[], name="spiral")
+
+
+def two_holes() -> Field:
+    """Fig. 4 (i): a rectangle with two holes."""
+    outer = rectangle_ring(0, 0, 120, 70)
+    left = circle_ring(35, 35, 15, segments=40)
+    right = rectangle_ring(72, 21, 100, 49)
+    return Field(outer=outer, holes=[left, right], name="two_holes")
+
+
+def star() -> Field:
+    """Fig. 4 (j): a five-pointed star field."""
+    outer = star_ring(50, 50, 48, 20, points=5)
+    return Field(outer=outer, holes=[], name="star")
+
+
+# ---------------------------------------------------------------------------
+# Simple shapes used by tests and examples
+# ---------------------------------------------------------------------------
+
+def rectangle(width: float = 100.0, height: float = 40.0) -> Field:
+    """A plain rectangle — skeleton is (approximately) its long mid-line."""
+    return Field(outer=rectangle_ring(0, 0, width, height), name="rectangle")
+
+
+def disk(radius: float = 50.0) -> Field:
+    """A disk — degenerate skeleton (a single centre point)."""
+    return Field(outer=circle_ring(radius, radius, radius, segments=96), name="disk")
+
+
+def annulus(outer_r: float = 48.0, inner_r: float = 22.0) -> Field:
+    """A ring-shaped field — skeleton is a single genuine loop."""
+    c = outer_r
+    return Field(
+        outer=circle_ring(c, c, outer_r, segments=96),
+        holes=[circle_ring(c, c, inner_r, segments=64)],
+        name="annulus",
+    )
+
+
+def cross(arm: float = 30.0, width: float = 24.0) -> Field:
+    """A plus/cross shape — skeleton is two crossing mid-lines."""
+    half = width / 2.0
+    c = arm + half
+    pts = [
+        Point(c - half, 0), Point(c + half, 0),
+        Point(c + half, c - half), Point(2 * c, c - half),
+        Point(2 * c, c + half), Point(c + half, c + half),
+        Point(c + half, 2 * c), Point(c - half, 2 * c),
+        Point(c - half, c + half), Point(0, c + half),
+        Point(0, c - half), Point(c - half, c - half),
+    ]
+    return Field(outer=Ring(pts), name="cross")
+
+
+def h_shape() -> Field:
+    """An H-shaped corridor field."""
+    pts = [
+        Point(0, 0), Point(24, 0), Point(24, 38), Point(56, 38),
+        Point(56, 0), Point(80, 0), Point(80, 100), Point(56, 100),
+        Point(56, 62), Point(24, 62), Point(24, 100), Point(0, 100),
+    ]
+    return Field(outer=Ring(pts), name="h_shape")
+
+
+def l_shape() -> Field:
+    """An L-shaped corridor field."""
+    pts = [
+        Point(0, 0), Point(100, 0), Point(100, 30),
+        Point(30, 30), Point(30, 100), Point(0, 100),
+    ]
+    return Field(outer=Ring(pts), name="l_shape")
+
+
+SHAPES: Dict[str, Callable[[], Field]] = {
+    "window": window,
+    "one_hole": one_hole,
+    "flower": flower,
+    "smile": smile,
+    "music": music,
+    "airplane": airplane,
+    "cactus": cactus,
+    "star_hole": star_hole,
+    "spiral": spiral,
+    "two_holes": two_holes,
+    "star": star,
+    "rectangle": rectangle,
+    "disk": disk,
+    "annulus": annulus,
+    "cross": cross,
+    "h_shape": h_shape,
+    "l_shape": l_shape,
+}
+
+
+def make_field(name: str) -> Field:
+    """Build a registered field by name.
+
+    Raises ``KeyError`` with the list of known names for typos.
+    """
+    try:
+        factory = SHAPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown shape {name!r}; known shapes: {sorted(SHAPES)}"
+        ) from None
+    return factory()

@@ -1,0 +1,50 @@
+"""Sensor-network substrate: radio models, deployment, connectivity graphs.
+
+Everything the paper assumes about the physical network lives here — the
+rest of the library sees only :class:`SensorNetwork` adjacency.
+"""
+
+from .radio import LogNormalRadio, QuasiUnitDiskRadio, RadioModel, UnitDiskRadio
+from .graph import SensorNetwork, build_network, line_of_sight_blocked
+from .deployment import (
+    grid_deployment,
+    skewed_deployment,
+    split_keep_probability,
+    thinned,
+    uniform_deployment,
+)
+from .scenarios import (
+    FIG5_DEGREES,
+    FIG7_DEGREES,
+    FIG7_EPSILONS,
+    FIG8_SCENARIOS,
+    PAPER_SCENARIOS,
+    Scenario,
+    build_scenario_network,
+    estimate_range_for_degree,
+    get_scenario,
+)
+
+__all__ = [
+    "RadioModel",
+    "UnitDiskRadio",
+    "QuasiUnitDiskRadio",
+    "LogNormalRadio",
+    "SensorNetwork",
+    "build_network",
+    "line_of_sight_blocked",
+    "uniform_deployment",
+    "grid_deployment",
+    "thinned",
+    "split_keep_probability",
+    "skewed_deployment",
+    "Scenario",
+    "PAPER_SCENARIOS",
+    "FIG5_DEGREES",
+    "FIG7_DEGREES",
+    "FIG7_EPSILONS",
+    "FIG8_SCENARIOS",
+    "build_scenario_network",
+    "estimate_range_for_degree",
+    "get_scenario",
+]

@@ -1,0 +1,100 @@
+"""Node deployment strategies (Sections II-A and IV-D).
+
+The paper's default deployment is uniform-at-random inside the field; its
+robustness study (Fig. 8) uses *skewed* distributions produced by thinning a
+uniform sample with position-dependent keep probabilities — e.g. the upper
+part denser than the lower part (Fig. 8a), or the left part kept with
+probability 0.65 and the right with 1.00 (Fig. 8b).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from ..geometry.polygon import Field
+from ..geometry.primitives import Point
+
+__all__ = [
+    "uniform_deployment",
+    "grid_deployment",
+    "thinned",
+    "split_keep_probability",
+    "skewed_deployment",
+]
+
+
+def uniform_deployment(field: Field, n: int,
+                       rng: Optional[random.Random] = None) -> List[Point]:
+    """*n* nodes uniformly at random in the field (the paper's default)."""
+    return field.sample_uniform(n, rng=rng)
+
+
+def grid_deployment(field: Field, spacing: float, jitter: float = 0.0,
+                    rng: Optional[random.Random] = None) -> List[Point]:
+    """Perturbed-grid deployment — a low-discrepancy uniform stand-in."""
+    return field.sample_grid(spacing, jitter=jitter, rng=rng)
+
+
+def thinned(points: Sequence[Point],
+            keep_probability: Callable[[Point], float],
+            rng: Optional[random.Random] = None) -> List[Point]:
+    """Thin a sample by a position-dependent keep probability.
+
+    This is exactly how the paper builds its skewed distributions: "nodes in
+    the left part are drawn from Fig. 4(j) with probability 0.65, and the
+    nodes in the right part are drawn with probability 1.00".
+    """
+    rng = rng if rng is not None else random.Random()
+    kept = []
+    for p in points:
+        prob = keep_probability(p)
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"keep probability {prob} out of [0, 1] at {p}")
+        if rng.random() < prob:
+            kept.append(p)
+    return kept
+
+
+def split_keep_probability(field: Field, axis: str = "x",
+                           fraction: float = 0.5,
+                           low_probability: float = 0.65,
+                           high_probability: float = 1.0) -> Callable[[Point], float]:
+    """A keep-probability function splitting the field along one axis.
+
+    Points in the lower *fraction* of the field's extent along *axis* are
+    kept with *low_probability*; the rest with *high_probability*.
+    """
+    if axis not in ("x", "y"):
+        raise ValueError("axis must be 'x' or 'y'")
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be strictly between 0 and 1")
+    box = field.bounding_box()
+    if axis == "x":
+        threshold = box.min_x + fraction * box.width
+
+        def keep(p: Point) -> float:
+            return low_probability if p.x < threshold else high_probability
+    else:
+        threshold = box.min_y + fraction * box.height
+
+        def keep(p: Point) -> float:
+            return low_probability if p.y < threshold else high_probability
+    return keep
+
+
+def skewed_deployment(field: Field, n: int, axis: str = "y",
+                      fraction: float = 0.5, low_probability: float = 0.65,
+                      high_probability: float = 1.0,
+                      rng: Optional[random.Random] = None) -> List[Point]:
+    """A skewed deployment à la Fig. 8: uniform sample thinned on one side.
+
+    *n* is the size of the uniform sample before thinning, so the returned
+    set is smaller in expectation by the average keep probability.
+    """
+    rng = rng if rng is not None else random.Random()
+    base = uniform_deployment(field, n, rng=rng)
+    keep = split_keep_probability(field, axis=axis, fraction=fraction,
+                                  low_probability=low_probability,
+                                  high_probability=high_probability)
+    return thinned(base, keep, rng=rng)

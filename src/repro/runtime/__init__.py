@@ -1,0 +1,26 @@
+"""Synchronous distributed-simulation runtime.
+
+A round-based message-passing simulator with broadcast accounting, plus the
+reusable flooding protocols the paper's algorithm is built from.
+"""
+
+from .message import Message
+from .protocol import NodeApi, NodeProtocol
+from .scheduler import SynchronousScheduler
+from .stats import RunStats
+from .flooding import (
+    NeighborhoodGossipProtocol,
+    ValueGossipProtocol,
+    VoronoiFloodProtocol,
+)
+
+__all__ = [
+    "Message",
+    "NodeApi",
+    "NodeProtocol",
+    "SynchronousScheduler",
+    "RunStats",
+    "NeighborhoodGossipProtocol",
+    "ValueGossipProtocol",
+    "VoronoiFloodProtocol",
+]

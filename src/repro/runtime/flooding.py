@@ -1,0 +1,182 @@
+"""Reusable flooding protocols (Section III-A / III-B message patterns).
+
+Three protocols cover the paper's communication:
+
+* :class:`NeighborhoodGossipProtocol` — k rounds of aggregated set exchange;
+  after round k every node knows its k-hop neighbourhood.  Each node
+  transmits at most k broadcasts, matching the O(k·n) message bound of the
+  first limited flooding.
+* :class:`ValueGossipProtocol` — the second round of Section III-A: each
+  node's (id, value) pair is spread l hops, again ≤ l broadcasts per node.
+* :class:`VoronoiFloodProtocol` — the concurrent site flooding of Section
+  III-B: sites start BFS waves; every other node joins the first wave to
+  reach it (its nearest site), records ties within the threshold α, and
+  forwards at most one broadcast — O(n) messages in total.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .message import Message
+from .protocol import NodeApi, NodeProtocol
+
+__all__ = [
+    "NeighborhoodGossipProtocol",
+    "ValueGossipProtocol",
+    "VoronoiFloodProtocol",
+    "SiteRecord",
+]
+
+
+class NeighborhoodGossipProtocol(NodeProtocol):
+    """Aggregated k-hop neighbourhood discovery.
+
+    Round r's broadcast carries the node ids first learned in round r-1, so
+    the wavefront expands exactly one hop per round; after ``k`` broadcasts
+    each node's ``known`` set is its closed k-hop neighbourhood N_k ∪ {self}.
+    """
+
+    KIND = "nbr"
+
+    def __init__(self, node_id: int, k: int):
+        super().__init__(node_id)
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.known: Set[int] = {node_id}
+        self._fresh: Set[int] = set()
+        self._sent = 0
+
+    def on_start(self, api: NodeApi) -> None:
+        api.broadcast(self.KIND, frozenset({self.node_id}))
+        self._sent = 1
+
+    def on_message(self, message: Message, api: NodeApi) -> None:
+        if message.kind != self.KIND:
+            return
+        for node in message.payload:
+            if node not in self.known:
+                self.known.add(node)
+                self._fresh.add(node)
+
+    def on_round_end(self, api: NodeApi) -> None:
+        if self._fresh and self._sent < self.k:
+            api.broadcast(self.KIND, frozenset(self._fresh))
+            self._sent += 1
+        self._fresh = set()
+
+    @property
+    def neighborhood_size(self) -> int:
+        """|N_k| including the node itself."""
+        return len(self.known)
+
+
+class ValueGossipProtocol(NodeProtocol):
+    """Spread each node's (id, value) pair within l hops by aggregated gossip.
+
+    ``value`` may be set lazily (e.g. after a first phase computed it); the
+    protocol begins transmitting in the round after :meth:`set_value` is
+    called.
+    """
+
+    KIND = "val"
+
+    def __init__(self, node_id: int, l: int, value: Optional[Any] = None):
+        super().__init__(node_id)
+        if l < 1:
+            raise ValueError("l must be at least 1")
+        self.l = l
+        self.values: Dict[int, Any] = {}
+        self._fresh: Dict[int, Any] = {}
+        self._sent = 0
+        self._ready = False
+        if value is not None:
+            self.set_value(value)
+
+    def set_value(self, value: Any) -> None:
+        """Provide this node's own value, enabling transmission."""
+        self.values[self.node_id] = value
+        self._fresh[self.node_id] = value
+        self._ready = True
+
+    def on_message(self, message: Message, api: NodeApi) -> None:
+        if message.kind != self.KIND:
+            return
+        for node, value in message.payload:
+            if node not in self.values:
+                self.values[node] = value
+                self._fresh[node] = value
+
+    def on_round_end(self, api: NodeApi) -> None:
+        if self._ready and self._fresh and self._sent < self.l:
+            api.broadcast(self.KIND, tuple(self._fresh.items()))
+            self._sent += 1
+        self._fresh = {}
+
+    def is_active(self) -> bool:
+        # Once ready, the node owes at least its own announcement.
+        return self._ready and self._sent == 0
+
+
+SiteRecord = Tuple[int, int, Optional[int]]
+"""(site id, hop distance, parent toward the site)."""
+
+
+class VoronoiFloodProtocol(NodeProtocol):
+    """Concurrent BFS waves from every site (critical skeleton node).
+
+    Implements the three rules of Section III-B: join the first tree whose
+    wave arrives (the nearest site — synchronous rounds make wave arrival
+    order equal distance order), keep records of other sites whose distance
+    differs from the best by at most ``alpha``, and never forward more than
+    one broadcast.
+    """
+
+    KIND = "site"
+
+    def __init__(self, node_id: int, is_site: bool, alpha: int = 1):
+        super().__init__(node_id)
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.is_site = is_site
+        self.alpha = alpha
+        # site -> (distance, parent); a site records itself at distance 0.
+        self.records: Dict[int, Tuple[int, Optional[int]]] = {}
+        if is_site:
+            self.records[node_id] = (0, None)
+        self._forwarded = False
+
+    def on_start(self, api: NodeApi) -> None:
+        if self.is_site:
+            api.broadcast(self.KIND, (self.node_id, 0))
+            self._forwarded = True
+
+    def best_distance(self) -> Optional[int]:
+        if not self.records:
+            return None
+        return min(d for d, _ in self.records.values())
+
+    def on_message(self, message: Message, api: NodeApi) -> None:
+        if message.kind != self.KIND:
+            return
+        site, hops = message.payload
+        my_dist = hops + 1
+        best = self.best_distance()
+        if best is None:
+            # First wave to arrive: join this tree and forward.
+            self.records[site] = (my_dist, message.sender)
+            api.broadcast(self.KIND, (site, my_dist))
+            self._forwarded = True
+            return
+        if site in self.records:
+            return
+        if my_dist - best <= self.alpha:
+            # Near-equidistant to another site: keep the record (making this
+            # a segment or Voronoi node) but do not forward (paper rule 2).
+            self.records[site] = (my_dist, message.sender)
+        # Otherwise: discard (paper rule 3).
+
+    @property
+    def recorded_sites(self) -> Dict[int, Tuple[int, Optional[int]]]:
+        return dict(self.records)

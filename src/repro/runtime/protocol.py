@@ -1,0 +1,71 @@
+"""Node protocol abstraction for the synchronous simulator.
+
+A :class:`NodeProtocol` is the program running on one sensor.  It sees only
+what a real node would: its own id, its 1-hop neighbour ids, the messages it
+receives, and a broadcast primitive.  Everything global (positions, the full
+graph) is invisible — this is what makes the distributed implementations in
+:mod:`repro.core.distributed` faithful to the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Optional, Sequence
+
+from .message import Message
+
+__all__ = ["NodeApi", "NodeProtocol"]
+
+
+class NodeApi:
+    """The capabilities a node protocol may use during a handler call.
+
+    Instances are created by the scheduler; protocols must not construct
+    them.  Broadcasts are queued and delivered to all neighbours at the
+    start of the next round.
+    """
+
+    def __init__(self, node_id: int, neighbors: Sequence[int], scheduler: "Any"):
+        self.node_id = node_id
+        self.neighbors: List[int] = list(neighbors)
+        self._scheduler = scheduler
+
+    @property
+    def round(self) -> int:
+        """The current round number (0-based)."""
+        return self._scheduler.round
+
+    def broadcast(self, kind: str, payload: Any = None) -> None:
+        """Queue one broadcast to all neighbours, delivered next round."""
+        self._scheduler.queue_broadcast(self.node_id, kind, payload)
+
+
+class NodeProtocol(abc.ABC):
+    """Base class for per-node programs.
+
+    Lifecycle: the scheduler calls :meth:`on_start` once before round 0,
+    then each round delivers queued broadcasts via :meth:`on_message` and
+    finally calls :meth:`on_round_end`.  A protocol signals it may still do
+    work by returning ``True`` from :meth:`is_active`; the scheduler stops
+    when no node is active and no messages are in flight.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+
+    def on_start(self, api: NodeApi) -> None:
+        """Called once before the first round."""
+
+    def on_message(self, message: Message, api: NodeApi) -> None:
+        """Called for each message received this round."""
+
+    def on_round_end(self, api: NodeApi) -> None:
+        """Called after all of this round's messages were handled."""
+
+    def is_active(self) -> bool:
+        """Whether this node still intends to transmit in a later round.
+
+        The default says "done"; protocols driven purely by incoming
+        messages need not override this.
+        """
+        return False

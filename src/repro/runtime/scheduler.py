@@ -1,0 +1,97 @@
+"""The synchronous round-based message-passing simulator.
+
+Models the standard synchronous distributed computing abstraction the paper
+implicitly assumes ("if the identified critical skeleton nodes flood at
+roughly the same time, and the message travels at approximately the same
+speed"): computation proceeds in rounds, broadcasts queued in round *r* are
+delivered to every radio neighbour at the start of round *r+1*, and the run
+ends when the network is quiet.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..network.graph import SensorNetwork
+from .message import Message
+from .protocol import NodeApi, NodeProtocol
+from .stats import RunStats
+
+__all__ = ["SynchronousScheduler"]
+
+ProtocolFactory = Callable[[int], NodeProtocol]
+
+
+class SynchronousScheduler:
+    """Runs one protocol instance per node over a :class:`SensorNetwork`."""
+
+    def __init__(self, network: SensorNetwork, protocol_factory: ProtocolFactory):
+        self.network = network
+        self.protocols: List[NodeProtocol] = [
+            protocol_factory(node) for node in network.nodes()
+        ]
+        self.apis: List[NodeApi] = [
+            NodeApi(node, network.neighbors(node), self)
+            for node in network.nodes()
+        ]
+        self.round = 0
+        self.stats = RunStats()
+        self._outbox: List[Message] = []
+        self._started = False
+
+    # -- API used by NodeApi ------------------------------------------------
+
+    def queue_broadcast(self, sender: int, kind: str, payload) -> None:
+        self._outbox.append(
+            Message(sender=sender, kind=kind, payload=payload, round_sent=self.round)
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def _start(self) -> None:
+        for node in self.network.nodes():
+            self.protocols[node].on_start(self.apis[node])
+        self._started = True
+
+    def step(self) -> bool:
+        """Execute one round; returns False when the network is quiet.
+
+        A round delivers every broadcast queued in the previous round,
+        invokes message handlers, then round-end hooks.
+        """
+        if not self._started:
+            self._start()
+        in_flight = self._outbox
+        if not in_flight and not any(p.is_active() for p in self.protocols):
+            return False
+        self._outbox = []
+        self.stats.start_round()
+        # Account each broadcast once, then fan it out to neighbours.
+        inboxes: Dict[int, List[Message]] = defaultdict(list)
+        for msg in in_flight:
+            neighbors = self.network.neighbors(msg.sender)
+            self.stats.record_broadcast(msg.sender, len(neighbors))
+            for v in neighbors:
+                inboxes[v].append(msg)
+        self.round += 1
+        for node, messages in inboxes.items():
+            api = self.apis[node]
+            protocol = self.protocols[node]
+            for msg in messages:
+                protocol.on_message(msg, api)
+        for node in self.network.nodes():
+            self.protocols[node].on_round_end(self.apis[node])
+        return True
+
+    def run(self, max_rounds: int = 100_000) -> RunStats:
+        """Run until quiet (or *max_rounds*, which raises — a protocol that
+        never quiesces is a bug, not a result)."""
+        rounds = 0
+        while self.step():
+            rounds += 1
+            if rounds >= max_rounds:
+                raise RuntimeError(
+                    f"protocol did not quiesce within {max_rounds} rounds"
+                )
+        return self.stats

@@ -1,0 +1,62 @@
+"""Message and round accounting for the synchronous simulator.
+
+Theorem 5 claims O(√n) time and O((k+l+1)n) message complexity; these
+counters are what the complexity benchmarks measure.  Following the paper's
+convention for wireless broadcast media, one *message* is one broadcast
+transmission (every neighbour hears it); *receptions* counts the per-link
+deliveries separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Counters for one scheduler run (or one phase of it)."""
+
+    broadcasts: int = 0
+    receptions: int = 0
+    rounds: int = 0
+    broadcasts_per_round: List[int] = field(default_factory=list)
+    broadcasts_per_node: Dict[int, int] = field(default_factory=dict)
+
+    def record_broadcast(self, sender: int, fanout: int) -> None:
+        """Record one broadcast heard by *fanout* neighbours."""
+        self.broadcasts += 1
+        self.receptions += fanout
+        self.broadcasts_per_node[sender] = self.broadcasts_per_node.get(sender, 0) + 1
+        if self.broadcasts_per_round:
+            self.broadcasts_per_round[-1] += 1
+
+    def start_round(self) -> None:
+        self.rounds += 1
+        self.broadcasts_per_round.append(0)
+
+    @property
+    def max_node_broadcasts(self) -> int:
+        """The busiest node's transmission count (load-balance indicator)."""
+        return max(self.broadcasts_per_node.values(), default=0)
+
+    def merged_with(self, other: "RunStats") -> "RunStats":
+        """Combine two phases' counters into one summary."""
+        merged = RunStats(
+            broadcasts=self.broadcasts + other.broadcasts,
+            receptions=self.receptions + other.receptions,
+            rounds=self.rounds + other.rounds,
+            broadcasts_per_round=self.broadcasts_per_round + other.broadcasts_per_round,
+        )
+        merged.broadcasts_per_node = dict(self.broadcasts_per_node)
+        for node, count in other.broadcasts_per_node.items():
+            merged.broadcasts_per_node[node] = merged.broadcasts_per_node.get(node, 0) + count
+        return merged
+
+    def summary(self) -> str:
+        return (
+            f"rounds={self.rounds} broadcasts={self.broadcasts} "
+            f"receptions={self.receptions} max_node_broadcasts={self.max_node_broadcasts}"
+        )

@@ -1,0 +1,12 @@
+"""Rendering and export utilities."""
+
+from .ascii_render import render_network, render_result
+from .export import export_nodes_csv, export_result_json, result_to_dict
+
+__all__ = [
+    "render_network",
+    "render_result",
+    "export_nodes_csv",
+    "export_result_json",
+    "result_to_dict",
+]

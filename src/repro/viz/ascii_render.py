@@ -1,0 +1,92 @@
+"""Terminal rendering of networks and skeletons.
+
+The paper's figures are scatter plots of nodes with skeleton nodes
+highlighted; this renders the same thing as ASCII for quick inspection in
+examples and experiment logs.
+
+Glyphs: ``.`` ordinary node, ``#`` skeleton node, ``S`` site (critical
+skeleton node), ``b`` boundary node, ``o`` segment node (later glyphs win
+when nodes share a cell).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from ..network.graph import SensorNetwork
+
+__all__ = ["render_network", "render_result"]
+
+
+def render_network(
+    network: SensorNetwork,
+    width: int = 96,
+    height: int = 44,
+    skeleton: Optional[Iterable[int]] = None,
+    sites: Optional[Iterable[int]] = None,
+    boundary: Optional[Iterable[int]] = None,
+    segments: Optional[Iterable[int]] = None,
+) -> str:
+    """Render the network to a character grid.
+
+    Later layers win: nodes < boundary < segments < skeleton < sites.
+    """
+    if network.num_nodes == 0:
+        return "(empty network)"
+    xs = [p.x for p in network.positions]
+    ys = [p.y for p in network.positions]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(nodes: Iterable[int], glyph: str) -> None:
+        for v in nodes:
+            p = network.positions[v]
+            col = int((p.x - min_x) / span_x * (width - 1))
+            row = height - 1 - int((p.y - min_y) / span_y * (height - 1))
+            grid[row][col] = glyph
+
+    plot(network.nodes(), ".")
+    if boundary is not None:
+        plot(boundary, "b")
+    if segments is not None:
+        plot(segments, "o")
+    if skeleton is not None:
+        plot(skeleton, "#")
+    if sites is not None:
+        plot(sites, "S")
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_result(result, width: int = 96, height: int = 44,
+                  stage: str = "final") -> str:
+    """Render a :class:`~repro.core.result.SkeletonResult` stage.
+
+    *stage* is one of ``critical`` (Fig. 1b), ``segments`` (Fig. 1c),
+    ``coarse`` (Fig. 1d), ``final`` (Fig. 1h), ``boundary`` (Fig. 3b).
+    """
+    network = result.network
+    if stage == "critical":
+        return render_network(network, width, height, sites=result.critical_nodes)
+    if stage == "segments":
+        return render_network(
+            network, width, height,
+            segments=result.voronoi.segment_nodes, sites=result.critical_nodes,
+        )
+    if stage == "coarse":
+        return render_network(
+            network, width, height,
+            skeleton=result.coarse.nodes, sites=result.critical_nodes,
+        )
+    if stage == "boundary":
+        return render_network(network, width, height, boundary=result.boundary_nodes)
+    if stage == "final":
+        return render_network(
+            network, width, height,
+            skeleton=result.skeleton.nodes,
+            sites=[s for s in result.critical_nodes if s in result.skeleton.nodes],
+        )
+    raise ValueError(f"unknown stage {stage!r}")

@@ -1,0 +1,82 @@
+"""Export networks and extraction results for offline plotting.
+
+JSON (full structure) and CSV (per-node table) exports so any external
+plotting tool can regenerate the paper's figures from a run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["result_to_dict", "export_result_json", "export_nodes_csv"]
+
+PathLike = Union[str, Path]
+
+
+def result_to_dict(result) -> dict:
+    """Serialise a :class:`~repro.core.result.SkeletonResult` to plain data."""
+    network = result.network
+    return {
+        "num_nodes": network.num_nodes,
+        "average_degree": network.average_degree,
+        "positions": [[p.x, p.y] for p in network.positions],
+        "edges": [
+            [u, v] for u in network.nodes() for v in network.adjacency[u] if u < v
+        ],
+        "critical_nodes": list(result.critical_nodes),
+        "segment_nodes": sorted(result.voronoi.segment_nodes),
+        "voronoi_nodes": sorted(result.voronoi.voronoi_nodes),
+        "cell_of": list(result.voronoi.cell_of),
+        "coarse_nodes": sorted(result.coarse.nodes),
+        "coarse_edges": [sorted(e) for e in sorted(result.coarse.edges, key=sorted)],
+        "skeleton_nodes": sorted(result.skeleton.nodes),
+        "skeleton_edges": [sorted(e) for e in sorted(result.skeleton.edges, key=sorted)],
+        "boundary_nodes": sorted(result.boundary_nodes),
+        "loops": [
+            {
+                "sites": loop.sites,
+                "length": loop.length,
+                "is_fake": loop.is_fake,
+                "iso_ratio": loop.iso_ratio,
+            }
+            for loop in result.loops
+        ],
+        "stage_summary": result.stage_summary(),
+    }
+
+
+def export_result_json(result, path: PathLike) -> Path:
+    """Write the full result structure as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def export_nodes_csv(result, path: PathLike) -> Path:
+    """Write a per-node table (position, roles) as CSV; returns the path."""
+    path = Path(path)
+    network = result.network
+    critical = set(result.critical_nodes)
+    skeleton = result.skeleton.nodes
+    segments = result.voronoi.segment_nodes
+    boundary = result.boundary_nodes
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["node", "x", "y", "degree", "khop_size", "index",
+             "is_critical", "is_segment", "is_skeleton", "is_boundary", "cell"]
+        )
+        for v in network.nodes():
+            p = network.positions[v]
+            writer.writerow([
+                v, f"{p.x:.3f}", f"{p.y:.3f}", network.degree(v),
+                result.index_data.khop_sizes[v],
+                f"{result.index_data.index[v]:.3f}",
+                int(v in critical), int(v in segments),
+                int(v in skeleton), int(v in boundary),
+                result.voronoi.cell_of[v],
+            ])
+    return path

@@ -1,0 +1,50 @@
+"""Shared fixtures: small, deterministic networks reused across the suite.
+
+Session-scoped because network construction and extraction dominate test
+time; all fixtures are read-only by convention.
+"""
+
+import random
+
+import pytest
+
+from repro.core import SkeletonExtractor
+from repro.geometry import make_field
+from repro.network import UnitDiskRadio, build_network
+from repro.network.deployment import uniform_deployment
+
+
+def build_test_network(shape: str, n: int, radio_range: float, seed: int = 3):
+    """Deterministic small network on a named field."""
+    field = make_field(shape)
+    rng = random.Random(seed)
+    positions = uniform_deployment(field, n, rng=rng)
+    network = build_network(
+        positions, radio=UnitDiskRadio(radio_range), field=field, rng=rng
+    )
+    return network.largest_component_subgraph()
+
+
+@pytest.fixture(scope="session")
+def rectangle_network():
+    return build_test_network("rectangle", 400, 5.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def annulus_network():
+    return build_test_network("annulus", 600, 5.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def cross_network():
+    return build_test_network("cross", 500, 5.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def rectangle_result(rectangle_network):
+    return SkeletonExtractor().extract(rectangle_network)
+
+
+@pytest.fixture(scope="session")
+def annulus_result(annulus_network):
+    return SkeletonExtractor().extract(annulus_network)

@@ -1,0 +1,138 @@
+"""Tests for the analysis package: metrics, stability, complexity fits."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    boundary_detection_quality,
+    compare_extractors,
+    evaluate_skeleton,
+    fit_power_law,
+    messages_per_node,
+    network_wraps_point,
+    preserved_holes,
+    skeleton_stability,
+)
+from repro.geometry.primitives import Point
+
+
+class TestPreservedHoles:
+    def test_annulus_hole_is_wrapped(self, annulus_network):
+        assert preserved_holes(annulus_network) == 1
+
+    def test_rectangle_has_none(self, rectangle_network):
+        assert preserved_holes(rectangle_network) == 0
+
+    def test_wrap_point_outside_field(self, rectangle_network):
+        assert not network_wraps_point(rectangle_network, Point(-50, -50))
+
+    def test_requires_field(self):
+        from repro.network import UnitDiskRadio, build_network
+
+        net = build_network([Point(0, 0)], radio=UnitDiskRadio(1.0))
+        with pytest.raises(ValueError):
+            preserved_holes(net)
+
+
+class TestEvaluateSkeleton:
+    def test_grades_extraction(self, annulus_network, annulus_result):
+        quality = evaluate_skeleton(
+            annulus_network,
+            annulus_result.skeleton.nodes,
+            annulus_result.skeleton.edges,
+        )
+        assert quality.connected
+        assert quality.cycle_count == 1
+        assert quality.preserved_hole_count == 1
+        assert quality.homotopy_ok
+        assert quality.mean_medialness < 3.0  # within 3 radio ranges
+        assert 0.0 <= quality.coverage <= 1.0
+
+    def test_empty_skeleton(self, rectangle_network):
+        quality = evaluate_skeleton(rectangle_network, [], [])
+        assert quality.num_nodes == 0
+        assert math.isinf(quality.mean_medialness)
+
+
+class TestBoundaryQuality:
+    def test_perfect_detection(self, rectangle_network):
+        from repro.baselines import geometric_boundary_nodes
+
+        truth = geometric_boundary_nodes(rectangle_network)
+        precision, recall = boundary_detection_quality(rectangle_network, truth)
+        assert precision == pytest.approx(1.0)
+        assert recall == pytest.approx(1.0)
+
+    def test_empty_detection(self, rectangle_network):
+        precision, recall = boundary_detection_quality(rectangle_network, set())
+        assert (precision, recall) == (0.0, 0.0)
+
+
+class TestStability:
+    def test_identical_sets_score_zero(self, rectangle_network, rectangle_result):
+        nodes = rectangle_result.skeleton.nodes
+        score = skeleton_stability(
+            rectangle_network, nodes, rectangle_network, nodes
+        )
+        assert score.mean_distance == 0.0
+        assert score.hausdorff == 0.0
+
+    def test_empty_set_is_infinite(self, rectangle_network, rectangle_result):
+        score = skeleton_stability(
+            rectangle_network, rectangle_result.skeleton.nodes,
+            rectangle_network, [],
+        )
+        assert math.isinf(score.mean_distance)
+
+    def test_symmetric(self, rectangle_network, rectangle_result):
+        a = list(rectangle_result.skeleton.nodes)[:10]
+        b = list(rectangle_result.skeleton.nodes)[5:15]
+        s1 = skeleton_stability(rectangle_network, a, rectangle_network, b)
+        s2 = skeleton_stability(rectangle_network, b, rectangle_network, a)
+        assert s1.mean_distance == pytest.approx(s2.mean_distance)
+        assert s1.hausdorff == pytest.approx(s2.hausdorff)
+
+
+class TestComplexityFits:
+    def test_exact_linear_law(self):
+        xs = [100, 200, 400, 800]
+        ys = [5 * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.coefficient == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_square_root_law(self):
+        xs = [100, 400, 1600]
+        ys = [math.sqrt(x) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_messages_per_node(self):
+        assert messages_per_node(900, 100) == pytest.approx(9.0)
+        with pytest.raises(ValueError):
+            messages_per_node(10, 0)
+
+
+class TestComparison:
+    def test_compare_runs_all_methods(self, rectangle_network):
+        rows = compare_extractors(rectangle_network,
+                                  include_detected_boundaries=False)
+        methods = [row.method for row in rows]
+        assert "proposed" in methods
+        assert "map[true]" in methods
+        assert "case[true]" in methods
+
+    def test_proposed_needs_no_boundary(self, rectangle_network):
+        rows = compare_extractors(rectangle_network,
+                                  include_detected_boundaries=False)
+        by_method = {row.method: row for row in rows}
+        assert not by_method["proposed"].needs_boundary_input
+        assert by_method["map[true]"].needs_boundary_input

@@ -1,0 +1,57 @@
+"""Tests for skeleton-aided naming and routing."""
+
+import pytest
+
+from repro.applications import SkeletonRouter, evaluate_routing
+from repro.core.refine import SkeletonGraph
+
+
+@pytest.fixture(scope="module")
+def router(rectangle_network, rectangle_result):
+    return SkeletonRouter(rectangle_network, rectangle_result.skeleton)
+
+
+class TestNaming:
+    def test_every_node_named(self, rectangle_network, router):
+        for v in rectangle_network.nodes():
+            name = router.name_of(v)
+            assert name.offset >= 0
+
+    def test_skeleton_nodes_anchor_themselves(self, rectangle_result, router):
+        for s in list(rectangle_result.skeleton.nodes)[:10]:
+            name = router.name_of(s)
+            assert name.anchor == s
+            assert name.offset == 0
+
+    def test_unknown_node_rejected(self, router):
+        with pytest.raises(ValueError):
+            router.name_of(10 ** 9)
+
+    def test_empty_skeleton_rejected(self, rectangle_network):
+        with pytest.raises(ValueError):
+            SkeletonRouter(rectangle_network, SkeletonGraph(nodes=set(), edges=set()))
+
+
+class TestRouting:
+    def test_route_is_a_network_walk(self, rectangle_network, router):
+        path = router.route(0, rectangle_network.num_nodes - 1)
+        assert path is not None
+        assert path[0] == 0
+        assert path[-1] == rectangle_network.num_nodes - 1
+        for a, b in zip(path, path[1:]):
+            assert rectangle_network.has_edge(a, b)
+
+    def test_route_has_no_repeats(self, rectangle_network, router):
+        path = router.route(1, rectangle_network.num_nodes // 2)
+        assert path is not None
+        assert len(path) == len(set(path))
+
+    def test_route_to_self_neighbourhood(self, router):
+        path = router.route(0, 1)
+        assert path is not None
+
+    def test_stretch_is_bounded(self, rectangle_network, rectangle_result):
+        study = evaluate_routing(rectangle_network, rectangle_result,
+                                 pairs=60, seed=2)
+        assert study.delivery_rate == 1.0
+        assert 1.0 <= study.mean_stretch < 3.0

@@ -1,0 +1,126 @@
+"""Tests for the MAP/CASE baselines and their boundary substrate."""
+
+import pytest
+
+from repro.baselines import (
+    CaseParams,
+    MapParams,
+    boundary_components,
+    compute_witness_field,
+    connectivity_boundary_nodes,
+    extract_case_skeleton,
+    extract_map_skeleton,
+    geometric_boundary_nodes,
+)
+
+
+@pytest.fixture(scope="module")
+def rect_boundary(rectangle_network):
+    return geometric_boundary_nodes(rectangle_network)
+
+
+class TestBoundarySubstrate:
+    def test_geometric_boundary_hugs_walls(self, rectangle_network, rect_boundary):
+        field = rectangle_network.field
+        for v in rect_boundary:
+            assert field.distance_to_boundary(rectangle_network.positions[v]) <= 5.01
+
+    def test_geometric_requires_field(self):
+        from repro.geometry.primitives import Point
+        from repro.network import UnitDiskRadio, build_network
+
+        net = build_network([Point(0, 0), Point(1, 0)], radio=UnitDiskRadio(2.0))
+        with pytest.raises(ValueError):
+            geometric_boundary_nodes(net)
+
+    def test_connectivity_detector_overlaps_truth(self, rectangle_network, rect_boundary):
+        detected = connectivity_boundary_nodes(rectangle_network)
+        overlap = len(detected & rect_boundary) / len(detected)
+        assert overlap > 0.6
+
+    def test_boundary_components_outer_first(self, annulus_network):
+        boundary = geometric_boundary_nodes(annulus_network)
+        components = boundary_components(annulus_network, boundary)
+        assert len(components) >= 2  # outer ring + hole ring
+        assert len(components[0]) >= len(components[1])
+
+
+class TestWitnessField:
+    def test_boundary_distance_zero_on_boundary(self, rectangle_network, rect_boundary):
+        field = compute_witness_field(rectangle_network, rect_boundary)
+        for b in list(rect_boundary)[:20]:
+            assert field.clearance(b) == 0
+            assert field.witnesses[b] == (b,)
+
+    def test_interior_has_witnesses(self, rectangle_network, rect_boundary):
+        field = compute_witness_field(rectangle_network, rect_boundary)
+        interior = [
+            v for v in rectangle_network.nodes() if field.clearance(v) >= 2
+        ]
+        assert interior
+        assert all(field.witnesses[v] for v in interior)
+
+    def test_witness_cap(self, rectangle_network, rect_boundary):
+        field = compute_witness_field(rectangle_network, rect_boundary, cap=2)
+        assert all(len(w) <= 2 for w in field.witnesses)
+
+    def test_empty_boundary_rejected(self, rectangle_network):
+        with pytest.raises(ValueError):
+            compute_witness_field(rectangle_network, set())
+
+
+class TestMap:
+    def test_produces_connected_skeleton(self, rectangle_network, rect_boundary):
+        result = extract_map_skeleton(rectangle_network, rect_boundary)
+        assert result.skeleton.nodes
+        assert result.skeleton.is_connected()
+
+    def test_skeleton_is_medial(self, rectangle_network, rect_boundary):
+        result = extract_map_skeleton(rectangle_network, rect_boundary)
+        field = rectangle_network.field
+        clearances = [
+            field.distance_to_boundary(rectangle_network.positions[v])
+            for v in result.skeleton.nodes
+        ]
+        assert sum(clearances) / len(clearances) > 7.0
+
+    def test_requires_boundaries(self, rectangle_network):
+        with pytest.raises(ValueError):
+            extract_map_skeleton(rectangle_network, set())
+
+    def test_custom_params(self, rectangle_network, rect_boundary):
+        result = extract_map_skeleton(
+            rectangle_network, rect_boundary,
+            MapParams(min_clearance=3, prune_length=1),
+        )
+        assert result.skeleton.nodes
+
+
+class TestCase:
+    def test_produces_connected_skeleton(self, rectangle_network, rect_boundary):
+        result = extract_case_skeleton(rectangle_network, rect_boundary)
+        assert result.skeleton.nodes
+        assert result.skeleton.is_connected()
+
+    def test_detects_corners_on_rectangle(self, rectangle_network, rect_boundary):
+        result = extract_case_skeleton(rectangle_network, rect_boundary)
+        assert result.corners  # four rectangle corners produce detections
+
+    def test_splits_branches(self, rectangle_network, rect_boundary):
+        result = extract_case_skeleton(rectangle_network, rect_boundary)
+        assert result.num_branches >= 2
+
+    def test_requires_boundaries(self, rectangle_network):
+        with pytest.raises(ValueError):
+            extract_case_skeleton(rectangle_network, set())
+
+    def test_corner_threshold_effect(self, rectangle_network, rect_boundary):
+        many = extract_case_skeleton(
+            rectangle_network, rect_boundary,
+            CaseParams(corner_threshold_degrees=25.0),
+        )
+        few = extract_case_skeleton(
+            rectangle_network, rect_boundary,
+            CaseParams(corner_threshold_degrees=80.0),
+        )
+        assert len(few.corners) <= len(many.corners)

@@ -1,0 +1,74 @@
+"""Tests for the segmentation and boundary by-products (§III-E)."""
+
+import pytest
+
+from repro.core import (
+    build_voronoi,
+    compute_khop_sizes,
+    detect_boundary_nodes,
+    find_critical_nodes,
+    segmentation_from_voronoi,
+)
+
+
+class TestSegmentation:
+    def test_segments_cover_network(self, rectangle_result):
+        segmentation = rectangle_result.segmentation
+        assert segmentation.covers(rectangle_result.network.num_nodes)
+
+    def test_one_segment_per_site(self, rectangle_result):
+        assert rectangle_result.segmentation.num_segments == len(
+            rectangle_result.critical_nodes
+        )
+
+    def test_segment_of_site_is_itself(self, rectangle_result):
+        segmentation = rectangle_result.segmentation
+        for site in rectangle_result.critical_nodes:
+            assert segmentation.segment_of(site) == site
+
+    def test_segment_of_unknown_node(self, rectangle_result):
+        assert rectangle_result.segmentation.segment_of(10 ** 9) is None
+
+    def test_sizes_sum(self, rectangle_result):
+        sizes = rectangle_result.segmentation.sizes()
+        assert sum(sizes.values()) == rectangle_result.network.num_nodes
+
+
+class TestBoundaryDetection:
+    def test_detected_nodes_are_near_boundary(self, rectangle_network):
+        sizes = compute_khop_sizes(rectangle_network, 4)
+        detected = detect_boundary_nodes(rectangle_network, sizes)
+        field = rectangle_network.field
+        near = [
+            v for v in detected
+            if field.distance_to_boundary(rectangle_network.positions[v]) < 8.0
+        ]
+        # Most detections hug the walls.
+        assert len(near) / len(detected) > 0.8
+
+    def test_interior_nodes_not_flagged(self, rectangle_network):
+        sizes = compute_khop_sizes(rectangle_network, 4)
+        detected = detect_boundary_nodes(rectangle_network, sizes)
+        field = rectangle_network.field
+        deep = [
+            v for v in rectangle_network.nodes()
+            if field.distance_to_boundary(rectangle_network.positions[v]) > 15.0
+        ]
+        flagged_deep = [v for v in deep if v in detected]
+        assert len(flagged_deep) < 0.05 * len(deep) + 2
+
+    def test_threshold_monotone(self, rectangle_network):
+        sizes = compute_khop_sizes(rectangle_network, 4)
+        strict = detect_boundary_nodes(rectangle_network, sizes, 0.5)
+        loose = detect_boundary_nodes(rectangle_network, sizes, 0.8)
+        assert strict <= loose
+
+    def test_rejects_wrong_length(self, rectangle_network):
+        with pytest.raises(ValueError):
+            detect_boundary_nodes(rectangle_network, [1, 2, 3])
+
+    def test_empty_network(self):
+        from repro.network import UnitDiskRadio, build_network
+
+        empty = build_network([], radio=UnitDiskRadio(1.0))
+        assert detect_boundary_nodes(empty, []) == set()

@@ -1,0 +1,76 @@
+"""Tests for coarse skeleton establishment (§III-C)."""
+
+import pytest
+
+from repro.core import (
+    SkeletonParams,
+    build_coarse_skeleton,
+    build_voronoi,
+    compute_indices,
+    find_critical_nodes,
+)
+
+
+@pytest.fixture(scope="module")
+def coarse_setup(rectangle_network):
+    params = SkeletonParams()
+    data = compute_indices(rectangle_network, params)
+    critical = find_critical_nodes(rectangle_network, data, params)
+    voronoi = build_voronoi(rectangle_network, critical, params)
+    coarse = build_coarse_skeleton(voronoi, data.index, params)
+    return data, voronoi, coarse
+
+
+class TestCoarseSkeleton:
+    def test_contains_all_sites(self, coarse_setup):
+        _, voronoi, coarse = coarse_setup
+        assert set(voronoi.sites) <= coarse.nodes
+
+    def test_is_connected(self, coarse_setup):
+        _, _, coarse = coarse_setup
+        assert coarse.is_connected()
+
+    def test_every_adjacent_pair_connected(self, coarse_setup):
+        _, voronoi, coarse = coarse_setup
+        assert set(coarse.pair_paths) == set(voronoi.adjacent_pairs())
+
+    def test_paths_are_network_walks(self, coarse_setup):
+        _, _, coarse = coarse_setup
+        net = coarse.network
+        for path in coarse.pair_paths.values():
+            for a, b in zip(path, path[1:]):
+                assert net.has_edge(a, b), f"{a}-{b} not a network edge"
+
+    def test_paths_run_between_their_sites(self, coarse_setup):
+        _, _, coarse = coarse_setup
+        for (a, b), path in coarse.pair_paths.items():
+            assert path[0] == a and path[-1] == b
+
+    def test_connector_has_max_index_among_pair_segments(self, coarse_setup):
+        data, voronoi, coarse = coarse_setup
+        for pair, connector in coarse.connectors.items():
+            segments = voronoi.pair_segments.get(pair)
+            if not segments:
+                continue  # border-edge fallback pair
+            best = max(segments, key=lambda v: (data.index[v], v))
+            assert connector == best
+
+    def test_edges_consistent_with_nodes(self, coarse_setup):
+        _, _, coarse = coarse_setup
+        for edge in coarse.edges:
+            assert edge <= coarse.nodes
+
+    def test_degree_and_neighbors(self, coarse_setup):
+        _, _, coarse = coarse_setup
+        some = next(iter(coarse.nodes))
+        assert coarse.degree(some) == len(coarse.neighbors_in_skeleton(some))
+
+    def test_cycle_rank_nonnegative(self, coarse_setup):
+        _, _, coarse = coarse_setup
+        assert coarse.cycle_rank() >= 0
+
+    def test_to_networkx_roundtrip(self, coarse_setup):
+        _, _, coarse = coarse_setup
+        g = coarse.to_networkx()
+        assert g.number_of_nodes() == len(coarse.nodes)
+        assert g.number_of_edges() == len(coarse.edges)

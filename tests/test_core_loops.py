@@ -1,0 +1,138 @@
+"""Tests for loop identification and fake-loop removal (§III-D)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import SkeletonExtractor, SkeletonParams, identify_loops
+from repro.core.loops import (
+    hop_clearance,
+    isoperimetric_ratio,
+    opposite_width,
+    simplify_closed_walk,
+    site_cycle_rings,
+)
+from repro.geometry.primitives import Point
+from repro.network import UnitDiskRadio, build_network
+
+
+class TestSimplifyClosedWalk:
+    def test_simple_cycle_unchanged(self):
+        assert simplify_closed_walk([1, 2, 3, 4]) == [1, 2, 3, 4]
+
+    def test_lens_detour_removed(self):
+        assert simplify_closed_walk([1, 2, 5, 6, 2, 3]) == [1, 2, 3]
+
+    def test_nested_detours(self):
+        assert simplify_closed_walk([1, 2, 3, 2, 4, 1, 5]) == [1, 5]
+
+    def test_empty(self):
+        assert simplify_closed_walk([]) == []
+
+    def test_result_has_no_duplicates(self):
+        out = simplify_closed_walk([1, 2, 3, 4, 2, 5, 3, 6])
+        assert len(out) == len(set(out))
+
+
+class TestHopClearance:
+    def test_multisource_distances(self):
+        positions = [Point(float(i), 0.0) for i in range(6)]
+        net = build_network(positions, radio=UnitDiskRadio(1.1))
+        clearance = hop_clearance(net, {0, 5})
+        assert clearance == [0, 1, 2, 2, 1, 0]
+
+    def test_no_boundary_gives_unreached(self):
+        positions = [Point(0, 0), Point(1, 0)]
+        net = build_network(positions, radio=UnitDiskRadio(1.5))
+        clearance = hop_clearance(net, set())
+        assert clearance == [2, 2]
+
+
+class TestSiteCycleRings:
+    def test_square_cycle_found(self):
+        g = nx.Graph()
+        g.add_weighted_edges_from(
+            [(1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 1, 1)]
+        )
+        rings = site_cycle_rings(g)
+        assert len(rings) == 1
+        assert set(rings[0]) == {1, 2, 3, 4}
+
+    def test_square_with_chord_gives_two_triangles(self):
+        g = nx.Graph()
+        g.add_weighted_edges_from(
+            [(1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 1, 1), (1, 3, 1)]
+        )
+        rings = site_cycle_rings(g)
+        assert len(rings) == 2
+        assert all(len(r) == 3 for r in rings)
+
+    def test_tree_has_no_rings(self):
+        g = nx.Graph()
+        g.add_weighted_edges_from([(1, 2, 1), (2, 3, 1), (2, 4, 1)])
+        assert site_cycle_rings(g) == []
+
+    def test_rings_are_independent(self):
+        g = nx.Graph()
+        # Two squares sharing an edge: rank 2.
+        g.add_weighted_edges_from(
+            [(1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 1, 1),
+             (2, 5, 1), (5, 6, 1), (6, 3, 1)]
+        )
+        rings = site_cycle_rings(g)
+        assert len(rings) == 2
+
+    def test_empty_graph(self):
+        assert site_cycle_rings(nx.Graph()) == []
+
+
+class TestOppositeWidth:
+    def test_thin_braid_has_small_width(self):
+        # Two parallel strands of a 2 x 6 grid form a thin cycle.
+        positions = [Point(float(i), float(j)) for j in range(2) for i in range(6)]
+        net = build_network(positions, radio=UnitDiskRadio(1.05))
+        cycle = [0, 1, 2, 3, 4, 5, 11, 10, 9, 8, 7, 6]
+        assert opposite_width(net, cycle) <= 2
+
+    def test_too_short_cycle(self):
+        positions = [Point(0, 0), Point(1, 0), Point(0.5, 1)]
+        net = build_network(positions, radio=UnitDiskRadio(1.5))
+        assert opposite_width(net, [0, 1, 2]) == 0
+
+
+class TestEndToEndLoops:
+    def test_annulus_keeps_one_genuine_loop(self, annulus_result):
+        genuine = annulus_result.loop_analysis.genuine
+        assert len(genuine) == 1
+        assert genuine[0].length >= 20
+
+    def test_rectangle_keeps_no_loops(self, rectangle_result):
+        assert rectangle_result.loop_analysis.genuine == []
+
+    def test_fake_records_carry_removed_pair(self, rectangle_result):
+        for fake in rectangle_result.loop_analysis.fake:
+            assert fake.removed_pair is not None
+
+    def test_kept_and_removed_pairs_disjoint(self, annulus_result):
+        analysis = annulus_result.loop_analysis
+        assert not (analysis.kept_pairs & analysis.removed_pairs)
+
+    def test_genuine_iso_ratio_above_threshold(self, annulus_result):
+        params = SkeletonParams()
+        for loop in annulus_result.loop_analysis.genuine:
+            assert loop.iso_ratio >= params.isoperimetric_threshold
+
+    def test_witness_strategy_runs(self, annulus_network):
+        from repro.core import LoopStrategy
+
+        result = SkeletonExtractor(
+            SkeletonParams(loop_strategy=LoopStrategy.VORONOI_WITNESS)
+        ).extract(annulus_network)
+        assert result.skeleton.is_connected()
+
+    def test_interior_strategy_runs(self, annulus_network):
+        from repro.core import LoopStrategy
+
+        result = SkeletonExtractor(
+            SkeletonParams(loop_strategy=LoopStrategy.INTERIOR)
+        ).extract(annulus_network)
+        assert result.skeleton.is_connected()

@@ -1,0 +1,79 @@
+"""Tests for k-hop sizes, l-centrality and the node index (§II-C)."""
+
+import pytest
+
+from repro.core import SkeletonParams, compute_indices, compute_khop_sizes, compute_l_centrality
+from repro.geometry.primitives import Point
+from repro.network import UnitDiskRadio, build_network
+
+
+def grid_network(width=11, height=5, spacing=1.0):
+    positions = [
+        Point(x * spacing, y * spacing) for y in range(height) for x in range(width)
+    ]
+    return build_network(positions, radio=UnitDiskRadio(spacing * 1.05))
+
+
+class TestKhopSizes:
+    def test_interior_sees_more_than_corner(self):
+        net = grid_network()
+        sizes = compute_khop_sizes(net, k=2)
+        corner = 0                       # (0, 0)
+        interior = 2 * 11 + 5            # (5, 2), the grid centre
+        assert sizes[interior] > sizes[corner]
+
+    def test_include_self_shifts_by_one(self):
+        net = grid_network(5, 3)
+        with_self = compute_khop_sizes(net, 2, include_self=True)
+        without = compute_khop_sizes(net, 2, include_self=False)
+        assert all(a == b + 1 for a, b in zip(with_self, without))
+
+    def test_k_larger_than_diameter_sees_everyone(self):
+        net = grid_network(4, 2)
+        sizes = compute_khop_sizes(net, k=20)
+        assert all(s == net.num_nodes for s in sizes)
+
+
+class TestLCentrality:
+    def test_averages_neighbour_sizes(self):
+        net = grid_network(5, 1)  # path of 5
+        sizes = compute_khop_sizes(net, k=1)   # [2, 3, 3, 3, 2]
+        cent = compute_l_centrality(net, l=1, khop_sizes=sizes)
+        # Node 0's 1-hop closed neighbourhood is {0, 1}: mean of 2 and 3.
+        assert cent[0] == pytest.approx(2.5)
+        # Node 2's closed neighbourhood {1, 2, 3}: all size 3.
+        assert cent[2] == pytest.approx(3.0)
+
+    def test_rejects_wrong_length(self):
+        net = grid_network(3, 1)
+        with pytest.raises(ValueError):
+            compute_l_centrality(net, l=1, khop_sizes=[1, 2])
+
+
+class TestIndex:
+    def test_index_is_average_of_components(self):
+        net = grid_network(7, 3)
+        data = compute_indices(net, SkeletonParams(k=2, l=2))
+        for v in net.nodes():
+            expected = (data.khop_sizes[v] + data.centrality[v]) / 2.0
+            assert data.index[v] == pytest.approx(expected)
+
+    def test_medial_nodes_have_higher_index(self, rectangle_network):
+        data = compute_indices(rectangle_network, SkeletonParams())
+        field = rectangle_network.field
+        central = [
+            v for v in rectangle_network.nodes()
+            if field.distance_to_boundary(rectangle_network.positions[v]) > 15
+        ]
+        peripheral = [
+            v for v in rectangle_network.nodes()
+            if field.distance_to_boundary(rectangle_network.positions[v]) < 3
+        ]
+        assert central and peripheral
+        mean_central = sum(data.index[v] for v in central) / len(central)
+        mean_peripheral = sum(data.index[v] for v in peripheral) / len(peripheral)
+        assert mean_central > mean_peripheral
+
+    def test_len(self, rectangle_network):
+        data = compute_indices(rectangle_network)
+        assert len(data) == rectangle_network.num_nodes

@@ -1,0 +1,98 @@
+"""End-to-end invariants of the full extraction pipeline."""
+
+import pytest
+
+from repro.analysis import preserved_holes
+from repro.core import SkeletonExtractor, SkeletonParams, extract_skeleton
+from repro.network import build_network, UnitDiskRadio
+from tests.conftest import build_test_network
+
+
+class TestPipelineInvariants:
+    def test_skeleton_connected(self, rectangle_result, annulus_result):
+        assert rectangle_result.skeleton.is_connected()
+        assert annulus_result.skeleton.is_connected()
+
+    def test_homotopy_matches_preserved_holes(self, annulus_network, annulus_result):
+        assert annulus_result.final_cycle_rank() == preserved_holes(annulus_network)
+
+    def test_rectangle_has_no_cycles(self, rectangle_result):
+        assert rectangle_result.final_cycle_rank() == 0
+
+    def test_skeleton_nonempty(self, rectangle_result):
+        assert len(rectangle_result.skeleton_nodes) > 0
+
+    def test_critical_nodes_are_skeleton_seeds(self, rectangle_result):
+        assert set(rectangle_result.critical_nodes) <= rectangle_result.coarse.nodes
+
+    def test_empty_network_rejected(self):
+        empty = build_network([], radio=UnitDiskRadio(1.0))
+        with pytest.raises(ValueError):
+            extract_skeleton(empty)
+
+    def test_stage_summary_keys(self, rectangle_result):
+        summary = rectangle_result.stage_summary()
+        for key in ("nodes", "critical_nodes", "segment_nodes", "coarse_nodes",
+                    "fake_loops", "genuine_loops", "final_nodes", "final_cycles"):
+            assert key in summary
+
+    def test_result_views(self, annulus_result):
+        assert annulus_result.num_critical == len(annulus_result.critical_nodes)
+        assert annulus_result.num_segment_nodes == len(
+            annulus_result.voronoi.segment_nodes
+        )
+        assert len(annulus_result.genuine_loops) == 1
+
+    def test_is_homotopic_without_field(self):
+        from repro.geometry.primitives import Point
+
+        positions = [Point(float(i % 10), float(i // 10)) for i in range(60)]
+        net = build_network(positions, radio=UnitDiskRadio(1.2))
+        result = extract_skeleton(net)
+        assert result.is_homotopic_to_field() is None
+
+
+class TestDeterminism:
+    def test_same_network_same_result(self, rectangle_network):
+        a = extract_skeleton(rectangle_network)
+        b = extract_skeleton(rectangle_network)
+        assert a.critical_nodes == b.critical_nodes
+        assert a.skeleton.nodes == b.skeleton.nodes
+        assert a.skeleton.edges == b.skeleton.edges
+
+
+class TestAcrossShapes:
+    @pytest.mark.parametrize("shape,n,radio", [
+        ("cross", 500, 5.0),
+        ("l_shape", 600, 4.6),
+        ("h_shape", 700, 4.6),
+    ])
+    def test_hole_free_shapes(self, shape, n, radio):
+        network = build_test_network(shape, n, radio, seed=11)
+        result = extract_skeleton(network)
+        assert result.skeleton.is_connected()
+        assert result.final_cycle_rank() == 0
+
+    def test_two_holes(self):
+        network = build_test_network("two_holes", 900, 4.6, seed=11)
+        result = extract_skeleton(network)
+        assert result.skeleton.is_connected()
+        assert result.final_cycle_rank() == preserved_holes(network)
+
+
+class TestMedialQuality:
+    def test_skeleton_nodes_clear_of_boundary(self, rectangle_result):
+        network = rectangle_result.network
+        field = network.field
+        clearances = [
+            field.distance_to_boundary(network.positions[v])
+            for v in rectangle_result.skeleton_nodes
+        ]
+        mean = sum(clearances) / len(clearances)
+        assert mean > 8.0  # half-width is 20
+
+    def test_custom_params_flow_through(self, rectangle_network):
+        params = SkeletonParams(k=3, l=3, prune_length=2)
+        result = SkeletonExtractor(params).extract(rectangle_network)
+        assert result.params.k == 3
+        assert result.skeleton.is_connected()

@@ -1,0 +1,133 @@
+"""Tests for skeleton refinement: rebuild + pruning (§III-D)."""
+
+import pytest
+
+from repro.core.refine import SkeletonGraph, merge_fake_loops, prune_short_branches
+from repro.core.loops import Loop
+
+
+def make_graph(edges):
+    g = SkeletonGraph(nodes=set(), edges={frozenset(e) for e in edges})
+    for e in g.edges:
+        g.nodes |= e
+    return g
+
+
+def make_loop(nodes, fake=True):
+    ordered = list(nodes)
+    return Loop(
+        sites=[], ordered=ordered, nodes=set(nodes),
+        edges={frozenset((ordered[i], ordered[(i + 1) % len(ordered)]))
+               for i in range(len(ordered))},
+        is_fake=fake, witnesses=[],
+    )
+
+
+class TestSkeletonGraph:
+    def test_cycle_rank_of_tree_is_zero(self):
+        g = make_graph([(1, 2), (2, 3), (2, 4)])
+        assert g.cycle_rank() == 0
+
+    def test_cycle_rank_of_cycle_is_one(self):
+        g = make_graph([(1, 2), (2, 3), (3, 1)])
+        assert g.cycle_rank() == 1
+
+    def test_connected(self):
+        assert make_graph([(1, 2), (2, 3)]).is_connected()
+        assert not make_graph([(1, 2), (3, 4)]).is_connected()
+
+    def test_remove_nodes_drops_incident_edges(self):
+        g = make_graph([(1, 2), (2, 3)])
+        g.remove_nodes({2})
+        assert g.edges == set()
+        assert g.nodes == {1, 3}
+
+    def test_add_path(self):
+        g = make_graph([(1, 2)])
+        g.add_path([2, 5, 6])
+        assert frozenset((2, 5)) in g.edges
+        assert frozenset((5, 6)) in g.edges
+
+    def test_drop_isolated_nodes(self):
+        g = make_graph([(1, 2)])
+        g.nodes.add(99)
+        g.drop_isolated_nodes()
+        assert 99 not in g.nodes
+
+
+class TestMergeFakeLoops:
+    def test_disjoint_loops_stay_separate(self):
+        loops = [make_loop([1, 2, 3]), make_loop([7, 8, 9])]
+        groups = merge_fake_loops(loops)
+        assert len(groups) == 2
+
+    def test_overlapping_loops_merge(self):
+        loops = [make_loop([1, 2, 3]), make_loop([3, 4, 5]), make_loop([5, 6, 7])]
+        groups = merge_fake_loops(loops)
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_genuine_loops_excluded(self):
+        loops = [make_loop([1, 2, 3], fake=False), make_loop([3, 4, 5])]
+        groups = merge_fake_loops(loops)
+        assert len(groups) == 1
+        assert groups[0][0].nodes == {3, 4, 5}
+
+
+class TestPruning:
+    def test_short_branch_removed(self):
+        # Junction at 3 with a single-node stub 3-10; the two long arms
+        # (length 2) survive a min_length of 1.
+        g = make_graph([(1, 2), (2, 3), (3, 4), (4, 5), (3, 10)])
+        pruned = prune_short_branches(g, min_length=1)
+        assert 10 not in pruned.nodes
+        assert {1, 2, 3, 4, 5} <= pruned.nodes
+
+    def test_long_branch_kept(self):
+        g = make_graph([(1, 2), (2, 3), (3, 4), (4, 5),
+                        (2, 10), (10, 11), (11, 12), (12, 13)])
+        pruned = prune_short_branches(g, min_length=2)
+        assert 13 in pruned.nodes
+
+    def test_bare_path_never_deleted(self):
+        g = make_graph([(1, 2), (2, 3)])
+        pruned = prune_short_branches(g, min_length=10)
+        assert pruned.nodes == {1, 2, 3}
+
+    def test_zero_length_is_noop(self):
+        g = make_graph([(1, 2), (2, 3), (2, 10)])
+        pruned = prune_short_branches(g, min_length=0)
+        assert 10 in pruned.nodes
+
+    def test_iterative_pruning(self):
+        # 20 carries two stubs (21, 30); pruning them leaves 3-20 as a
+        # newly short branch, which a later iteration removes too.
+        g = make_graph([
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+            (3, 20), (20, 21), (20, 30),
+        ])
+        pruned = prune_short_branches(g, min_length=2)
+        assert not {20, 21, 30} & pruned.nodes
+        assert {0, 1, 2, 3, 4, 5, 6, 7} <= pruned.nodes
+
+
+class TestEndToEndRefinement:
+    def test_final_skeleton_connected(self, rectangle_result, annulus_result):
+        assert rectangle_result.skeleton.is_connected()
+        assert annulus_result.skeleton.is_connected()
+
+    def test_rectangle_is_tree(self, rectangle_result):
+        assert rectangle_result.skeleton.cycle_rank() == 0
+
+    def test_annulus_keeps_exactly_one_cycle(self, annulus_result):
+        assert annulus_result.skeleton.cycle_rank() == 1
+
+    def test_final_skeleton_subset_of_coarse(self, rectangle_result):
+        assert rectangle_result.skeleton.nodes <= rectangle_result.coarse.nodes
+        assert rectangle_result.skeleton.edges <= rectangle_result.coarse.edges
+
+    def test_genuine_loop_edges_survive(self, annulus_result):
+        skeleton_edges = annulus_result.skeleton.edges
+        for loop in annulus_result.loop_analysis.genuine:
+            missing = [e for e in loop.edges if e not in skeleton_edges]
+            assert not missing

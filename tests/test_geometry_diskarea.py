@@ -1,0 +1,117 @@
+"""Numeric validation of the paper's continuous-domain theory (§II-B).
+
+Theorem 1: on a chord from skeleton point x to tangent point y, the
+disk–region intersection area is maximal at x.  Theorem 3: the
+ε-centrality is also maximal at x.  We verify both on a rectangle, whose
+skeleton contains the mid-line.
+"""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    chord_points,
+    disk_samples,
+    epsilon_centrality,
+    intersection_area,
+    make_field,
+)
+from repro.geometry.primitives import Point
+
+
+@pytest.fixture(scope="module")
+def rectangle():
+    return make_field("rectangle")  # 100 x 40, mid-line y = 20
+
+
+class TestDiskSamples:
+    def test_count(self):
+        assert len(disk_samples(Point(0, 0), 1.0, n=100)) == 100
+
+    def test_all_inside_disk(self):
+        center = Point(3, 4)
+        for p in disk_samples(center, 2.0, n=256):
+            assert center.distance_to(p) <= 2.0 + 1e-9
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            disk_samples(Point(0, 0), 0.0)
+        with pytest.raises(ValueError):
+            disk_samples(Point(0, 0), 1.0, n=0)
+
+
+class TestIntersectionArea:
+    def test_fully_inside_equals_disk_area(self, rectangle):
+        area = intersection_area(rectangle, Point(50, 20), 5.0, n=1024)
+        assert area == pytest.approx(math.pi * 25, rel=0.02)
+
+    def test_on_boundary_half_disk(self, rectangle):
+        area = intersection_area(rectangle, Point(50, 0), 5.0, n=2048)
+        assert area == pytest.approx(math.pi * 25 / 2, rel=0.08)
+
+    def test_outside_is_zero(self, rectangle):
+        assert intersection_area(rectangle, Point(200, 200), 3.0) == 0.0
+
+
+class TestTheorem1:
+    """Intersection area is maximal at the skeleton point of its chord."""
+
+    def test_monotone_along_vertical_chord(self, rectangle):
+        # Chord from the skeleton point (50, 20) to tangent point (50, 0).
+        skeleton_point = Point(50, 20)
+        tangent = Point(50, 0)
+        radius = 8.0
+        areas = [
+            intersection_area(rectangle, p, radius, n=1024)
+            for p in chord_points(skeleton_point, tangent, 6)
+        ]
+        # Maximal at the skeleton point, decreasing towards the boundary.
+        assert areas[0] == pytest.approx(max(areas), rel=1e-6)
+        assert areas[0] > areas[-1]
+        for earlier, later in zip(areas[3:], areas[4:]):
+            assert later <= earlier + 1.0  # small tolerance for sampling
+
+    def test_radius_below_clearance_keeps_equality(self, rectangle):
+        # Theorem 1 case 1: for R < dist(x, y) points near x all attain
+        # the full disk area.
+        skeleton_point = Point(50, 20)
+        tangent = Point(50, 0)
+        radius = 5.0  # clearance is 20
+        near = chord_points(skeleton_point, tangent, 21)[:5]
+        full = math.pi * radius * radius
+        for p in near:
+            assert intersection_area(rectangle, p, radius, n=512) == pytest.approx(
+                full, rel=0.02
+            )
+
+
+class TestTheorem3:
+    """ε-centrality is maximal at the skeleton point of its chord."""
+
+    def test_centrality_decreases_towards_boundary(self, rectangle):
+        skeleton_point = Point(50, 20)
+        tangent = Point(50, 0)
+        values = [
+            epsilon_centrality(rectangle, p, radius=8.0, epsilon=3.0,
+                               centers=32, samples_per_disk=128)
+            for p in chord_points(skeleton_point, tangent, 5)
+        ]
+        assert values[0] == pytest.approx(max(values), rel=0.02)
+        assert values[0] > values[-1]
+
+    def test_rejects_bad_epsilon(self, rectangle):
+        with pytest.raises(ValueError):
+            epsilon_centrality(rectangle, Point(50, 20), 5.0, epsilon=0.0)
+
+
+def test_chord_points_endpoints():
+    pts = chord_points(Point(0, 0), Point(10, 0), 11)
+    assert pts[0] == Point(0, 0)
+    assert pts[-1] == Point(10, 0)
+    assert len(pts) == 11
+
+
+def test_chord_points_rejects_single():
+    with pytest.raises(ValueError):
+        chord_points(Point(0, 0), Point(1, 0), 1)

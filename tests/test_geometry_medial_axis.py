@@ -1,0 +1,80 @@
+"""Tests for the ground-truth medial axis approximation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import approximate_medial_axis, make_field
+from repro.geometry.polygon import Field
+from repro.geometry.primitives import Point
+from repro.geometry.shapes import rectangle_ring
+
+
+@pytest.fixture(scope="module")
+def rectangle_axis():
+    field = make_field("rectangle")  # 100 x 40
+    return approximate_medial_axis(field, grid_spacing=1.0)
+
+
+class TestRectangleMedialAxis:
+    def test_axis_is_nonempty(self, rectangle_axis):
+        assert len(rectangle_axis) > 20
+
+    def test_axis_points_equidistant_to_two_sides(self, rectangle_axis):
+        # A rectangle's medial axis is the midline plus the four corner
+        # bisectors; every sample is (near-)equidistant to two sides.
+        for x, y in rectangle_axis.points:
+            sides = sorted([x, 100 - x, y, 40 - y])
+            assert sides[1] - sides[0] <= 2.0
+
+    def test_midline_is_covered(self, rectangle_axis):
+        mid = [Point(x, 20.0) for x in range(25, 76, 5)]
+        distances = rectangle_axis.distances_to_axis(mid)
+        assert float(np.max(distances)) < 2.5
+
+    def test_clearances_match_distance_transform(self, rectangle_axis):
+        field = make_field("rectangle")
+        for (x, y), clearance in zip(
+            rectangle_axis.points[:50], rectangle_axis.clearances[:50]
+        ):
+            truth = field.distance_to_boundary(Point(float(x), float(y)))
+            assert clearance == pytest.approx(truth, abs=1.0)
+
+    def test_coverage_of_self_is_total(self, rectangle_axis):
+        pts = [Point(float(x), float(y)) for x, y in rectangle_axis.points]
+        assert rectangle_axis.coverage_by(pts, radius=0.1) == 1.0
+
+    def test_coverage_of_nothing_is_zero(self, rectangle_axis):
+        assert rectangle_axis.coverage_by([], radius=5.0) == 0.0
+
+
+class TestDiskMedialAxis:
+    def test_disk_axis_collapses_to_center(self):
+        field = make_field("disk")  # radius 50 centred at (50, 50)
+        axis = approximate_medial_axis(field, grid_spacing=2.0)
+        assert len(axis) >= 1
+        for x, y in axis.points:
+            assert math.hypot(x - 50, y - 50) < 8.0
+
+
+class TestAnnulusMedialAxis:
+    def test_axis_is_a_ring(self):
+        field = make_field("annulus")  # radii 22 and 48 centred at (48, 48)
+        axis = approximate_medial_axis(field, grid_spacing=2.0)
+        assert len(axis) > 10
+        radii = [math.hypot(x - 48, y - 48) for x, y in axis.points]
+        assert all(30 < r < 40 for r in radii)  # midway ring at 35
+
+
+class TestParameters:
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            approximate_medial_axis(make_field("rectangle"), grid_spacing=0)
+
+    def test_empty_for_degenerate_interior(self):
+        # A sliver thinner than min_clearance yields no medial samples.
+        field = Field(outer=rectangle_ring(0, 0, 100, 1), name="sliver")
+        axis = approximate_medial_axis(field, grid_spacing=1.0)
+        assert len(axis) == 0
+        assert axis.distance_to_axis(Point(50, 0.5)) == math.inf

@@ -1,0 +1,140 @@
+"""Unit tests for repro.geometry.polygon (Ring and Field)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.polygon import Field, Ring
+from repro.geometry.primitives import Point
+from repro.geometry.shapes import circle_ring, rectangle_ring
+
+
+@pytest.fixture
+def square_field():
+    return Field(outer=rectangle_ring(0, 0, 10, 10), name="square")
+
+
+@pytest.fixture
+def donut_field():
+    return Field(
+        outer=rectangle_ring(0, 0, 10, 10),
+        holes=[rectangle_ring(4, 4, 6, 6)],
+        name="donut",
+    )
+
+
+class TestRing:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Ring([Point(0, 0), Point(1, 1)])
+
+    def test_area_and_perimeter(self):
+        ring = rectangle_ring(0, 0, 3, 4)
+        assert ring.area == pytest.approx(12.0)
+        assert ring.perimeter == pytest.approx(14.0)
+
+    def test_oriented_flips_only_when_needed(self):
+        ring = rectangle_ring(0, 0, 1, 1)
+        assert ring.oriented(True).signed_area > 0
+        assert ring.oriented(False).signed_area < 0
+
+    def test_contains_center_not_outside(self):
+        ring = rectangle_ring(0, 0, 2, 2)
+        assert ring.contains(Point(1, 1))
+        assert not ring.contains(Point(3, 3))
+
+    def test_distance_to_boundary(self):
+        ring = rectangle_ring(0, 0, 10, 10)
+        assert ring.distance_to_boundary(Point(5, 5)) == pytest.approx(5.0)
+        assert ring.distance_to_boundary(Point(1, 5)) == pytest.approx(1.0)
+
+    def test_sample_boundary_spacing(self):
+        ring = rectangle_ring(0, 0, 10, 10)
+        samples = ring.sample_boundary(1.0)
+        assert len(samples) >= 40
+        for p in samples:
+            assert ring.distance_to_boundary(p) < 1e-9
+
+    def test_sample_boundary_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            rectangle_ring(0, 0, 1, 1).sample_boundary(0)
+
+    def test_scaled_doubles_area(self):
+        ring = rectangle_ring(0, 0, 2, 2)
+        assert ring.scaled(2.0).area == pytest.approx(16.0)
+
+    def test_translated(self):
+        ring = rectangle_ring(0, 0, 1, 1).translated(5, 5)
+        assert ring.contains(Point(5.5, 5.5))
+
+
+class TestFieldMembership:
+    def test_inside_outside(self, square_field):
+        assert square_field.contains(Point(5, 5))
+        assert not square_field.contains(Point(11, 5))
+
+    def test_hole_excluded(self, donut_field):
+        assert not donut_field.contains(Point(5, 5))
+        assert donut_field.contains(Point(1, 1))
+
+    def test_area_subtracts_holes(self, donut_field):
+        assert donut_field.area == pytest.approx(100 - 4)
+
+    def test_num_holes(self, donut_field, square_field):
+        assert donut_field.num_holes == 1
+        assert square_field.num_holes == 0
+
+    def test_distance_to_boundary_includes_holes(self, donut_field):
+        # Point between the hole (at x=4) and the outer wall (x=0).
+        assert donut_field.distance_to_boundary(Point(3, 5)) == pytest.approx(1.0)
+
+    def test_clearance_zero_outside(self, square_field):
+        assert square_field.clearance(Point(20, 20)) == 0.0
+
+    def test_is_boundary_point(self, square_field):
+        assert square_field.is_boundary_point(Point(0.5, 5), tolerance=1.0)
+        assert not square_field.is_boundary_point(Point(5, 5), tolerance=1.0)
+
+
+class TestFieldSampling:
+    def test_uniform_sample_count_and_membership(self, donut_field):
+        rng = random.Random(0)
+        points = donut_field.sample_uniform(200, rng=rng)
+        assert len(points) == 200
+        assert all(donut_field.contains(p) for p in points)
+
+    def test_uniform_sample_zero(self, square_field):
+        assert square_field.sample_uniform(0) == []
+
+    def test_uniform_sample_negative_raises(self, square_field):
+        with pytest.raises(ValueError):
+            square_field.sample_uniform(-1)
+
+    def test_uniform_sample_deterministic_with_seed(self, square_field):
+        a = square_field.sample_uniform(50, rng=random.Random(7))
+        b = square_field.sample_uniform(50, rng=random.Random(7))
+        assert a == b
+
+    def test_grid_sample_inside(self, donut_field):
+        points = donut_field.sample_grid(1.0)
+        assert len(points) > 50
+        assert all(donut_field.contains(p) for p in points)
+
+    def test_grid_sample_avoids_hole(self, donut_field):
+        points = donut_field.sample_grid(0.5)
+        assert not any(4.2 < p.x < 5.8 and 4.2 < p.y < 5.8 for p in points)
+
+    def test_grid_rejects_bad_spacing(self, square_field):
+        with pytest.raises(ValueError):
+            square_field.sample_grid(0)
+
+    def test_boundary_samples_on_all_rings(self, donut_field):
+        samples = donut_field.sample_boundary(0.5)
+        near_hole = [p for p in samples if 3.9 <= p.x <= 6.1 and 3.9 <= p.y <= 6.1]
+        assert near_hole  # hole ring sampled too
+
+    def test_scaled_field_area(self, donut_field):
+        scaled = donut_field.scaled(2.0)
+        assert scaled.area == pytest.approx(donut_field.area * 4)
+        assert scaled.num_holes == 1

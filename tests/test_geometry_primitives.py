@@ -1,0 +1,167 @@
+"""Unit tests for repro.geometry.primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import (
+    BoundingBox,
+    Point,
+    dist,
+    dist_sq,
+    lerp,
+    on_segment,
+    orientation,
+    point_segment_distance,
+    polygon_centroid,
+    polygon_signed_area,
+    segments_intersect,
+)
+
+
+class TestPoint:
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_addition_and_subtraction(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication_commutes(self):
+        assert 2 * Point(1, 2) == Point(1, 2) * 2 == Point(2, 4)
+
+    def test_dot_and_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0
+        assert Point(1, 0).cross(Point(0, 1)) == 1
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+
+    def test_iteration_unpacks(self):
+        x, y = Point(7, 9)
+        assert (x, y) == (7, 9)
+
+    def test_rotation_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0, abs=1e-12)
+        assert rotated.y == pytest.approx(1)
+
+    def test_rotation_about_center(self):
+        rotated = Point(2, 1).rotated(math.pi, about=Point(1, 1))
+        assert rotated.x == pytest.approx(0)
+        assert rotated.y == pytest.approx(1)
+
+    def test_points_are_hashable(self):
+        assert len({Point(1, 1), Point(1, 1), Point(2, 2)}) == 2
+
+
+class TestDistances:
+    def test_dist_sq_matches_dist(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert dist_sq(a, b) == pytest.approx(dist(a, b) ** 2)
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Point(0, 0), Point(2, 4)
+        assert lerp(a, b, 0) == a
+        assert lerp(a, b, 1) == b
+        assert lerp(a, b, 0.5) == Point(1, 2)
+
+    def test_point_segment_distance_perpendicular(self):
+        d = point_segment_distance(Point(1, 1), Point(0, 0), Point(2, 0))
+        assert d == pytest.approx(1.0)
+
+    def test_point_segment_distance_clamps_to_endpoint(self):
+        d = point_segment_distance(Point(5, 0), Point(0, 0), Point(2, 0))
+        assert d == pytest.approx(3.0)
+
+    def test_point_segment_distance_degenerate_segment(self):
+        d = point_segment_distance(Point(1, 1), Point(0, 0), Point(0, 0))
+        assert d == pytest.approx(math.sqrt(2))
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(0, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(0, 1), Point(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    def test_on_segment_inside(self):
+        assert on_segment(Point(1, 1), Point(0, 0), Point(2, 2))
+
+    def test_on_segment_outside_bbox(self):
+        assert not on_segment(Point(3, 3), Point(0, 0), Point(2, 2))
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+        )
+
+    def test_shared_endpoint(self):
+        assert segments_intersect(
+            Point(0, 0), Point(1, 0), Point(1, 0), Point(2, 1)
+        )
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0)
+        )
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)
+        )
+
+
+class TestPolygonMeasures:
+    SQUARE = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+
+    def test_ccw_square_positive_area(self):
+        assert polygon_signed_area(self.SQUARE) == pytest.approx(4.0)
+
+    def test_cw_square_negative_area(self):
+        assert polygon_signed_area(list(reversed(self.SQUARE))) == pytest.approx(-4.0)
+
+    def test_degenerate_polygon_zero_area(self):
+        assert polygon_signed_area([Point(0, 0), Point(1, 1)]) == 0.0
+
+    def test_square_centroid(self):
+        c = polygon_centroid(self.SQUARE)
+        assert (c.x, c.y) == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_triangle_centroid(self):
+        c = polygon_centroid([Point(0, 0), Point(3, 0), Point(0, 3)])
+        assert (c.x, c.y) == (pytest.approx(1.0), pytest.approx(1.0))
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of_points([Point(1, 5), Point(3, 2)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (1, 2, 3, 5)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of_points([])
+
+    def test_contains(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains(Point(1, 1))
+        assert not box.contains(Point(3, 1))
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 1, 1).expanded(1)
+        assert (box.min_x, box.max_x) == (-1, 2)
+
+    def test_area_width_height(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert (box.width, box.height, box.area) == (4, 2, 8)

@@ -1,0 +1,100 @@
+"""Unit tests for repro.geometry.shapes — every registered field."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.primitives import segments_intersect
+from repro.geometry.shapes import (
+    SHAPES,
+    circle_ring,
+    make_field,
+    polar_ring,
+    rectangle_ring,
+    spiral,
+    star_ring,
+)
+
+EXPECTED_HOLES = {
+    "window": 4,
+    "one_hole": 1,
+    "smile": 3,
+    "star_hole": 1,
+    "two_holes": 2,
+    "annulus": 1,
+}
+
+
+def ring_is_simple(ring) -> bool:
+    edges = ring.edges()
+    n = len(edges)
+    for i in range(n):
+        for j in range(i + 2, n):
+            if i == 0 and j == n - 1:
+                continue
+            a, b = edges[i]
+            c, d = edges[j]
+            if segments_intersect(a, b, c, d):
+                return False
+    return True
+
+
+@pytest.mark.parametrize("name", sorted(SHAPES))
+class TestEveryShape:
+    def test_positive_area(self, name):
+        assert make_field(name).area > 0
+
+    def test_rings_are_simple(self, name):
+        field = make_field(name)
+        for ring in field.rings():
+            assert ring_is_simple(ring), f"ring of {name} self-intersects"
+
+    def test_sampling_works(self, name):
+        field = make_field(name)
+        points = field.sample_uniform(30, rng=random.Random(1))
+        assert all(field.contains(p) for p in points)
+
+    def test_holes_inside_outer(self, name):
+        field = make_field(name)
+        for hole in field.holes:
+            assert field.outer.contains(hole.centroid)
+
+
+@pytest.mark.parametrize("name,holes", sorted(EXPECTED_HOLES.items()))
+def test_expected_hole_counts(name, holes):
+    assert make_field(name).num_holes == holes
+
+
+def test_make_field_unknown_name():
+    with pytest.raises(KeyError, match="unknown shape"):
+        make_field("dodecahedron")
+
+
+class TestRingBuilders:
+    def test_circle_ring_radius(self):
+        ring = circle_ring(0, 0, 5, segments=64)
+        assert ring.area == pytest.approx(math.pi * 25, rel=0.01)
+
+    def test_circle_ring_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            circle_ring(0, 0, 0)
+
+    def test_rectangle_ring_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            rectangle_ring(2, 0, 1, 1)
+
+    def test_star_ring_vertex_count(self):
+        assert len(star_ring(0, 0, 10, 4, points=5)) == 10
+
+    def test_star_ring_rejects_two_points(self):
+        with pytest.raises(ValueError):
+            star_ring(0, 0, 10, 4, points=2)
+
+    def test_polar_ring_positive_radius_required(self):
+        with pytest.raises(ValueError):
+            polar_ring(0, 0, lambda t: math.cos(t), segments=16)
+
+    def test_spiral_rejects_self_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            spiral(turns=3.0, corridor=20.0)

@@ -1,0 +1,97 @@
+"""Unit tests for deployment strategies."""
+
+import random
+
+import pytest
+
+from repro.geometry import make_field
+from repro.network.deployment import (
+    grid_deployment,
+    skewed_deployment,
+    split_keep_probability,
+    thinned,
+    uniform_deployment,
+)
+
+
+@pytest.fixture(scope="module")
+def field():
+    return make_field("rectangle")  # 100 x 40
+
+
+class TestUniform:
+    def test_count(self, field):
+        assert len(uniform_deployment(field, 100, rng=random.Random(1))) == 100
+
+    def test_membership(self, field):
+        points = uniform_deployment(field, 100, rng=random.Random(1))
+        assert all(field.contains(p) for p in points)
+
+
+class TestGrid:
+    def test_grid_regularity(self, field):
+        points = grid_deployment(field, spacing=5.0)
+        assert len(points) == 20 * 8
+
+    def test_jitter_keeps_membership(self, field):
+        points = grid_deployment(field, spacing=5.0, jitter=2.0,
+                                 rng=random.Random(2))
+        assert all(field.contains(p) for p in points)
+
+
+class TestThinning:
+    def test_keep_all(self, field):
+        base = uniform_deployment(field, 50, rng=random.Random(3))
+        assert thinned(base, lambda p: 1.0, rng=random.Random(0)) == base
+
+    def test_keep_none(self, field):
+        base = uniform_deployment(field, 50, rng=random.Random(3))
+        assert thinned(base, lambda p: 0.0, rng=random.Random(0)) == []
+
+    def test_probability_out_of_range_raises(self, field):
+        base = uniform_deployment(field, 5, rng=random.Random(3))
+        with pytest.raises(ValueError):
+            thinned(base, lambda p: 1.5, rng=random.Random(0))
+
+    def test_expected_fraction(self, field):
+        base = uniform_deployment(field, 4000, rng=random.Random(3))
+        kept = thinned(base, lambda p: 0.5, rng=random.Random(0))
+        assert 0.45 * len(base) < len(kept) < 0.55 * len(base)
+
+
+class TestSplitKeep:
+    def test_split_along_x(self, field):
+        keep = split_keep_probability(field, axis="x", fraction=0.5,
+                                      low_probability=0.2, high_probability=0.9)
+        from repro.geometry.primitives import Point
+
+        assert keep(Point(10, 20)) == 0.2
+        assert keep(Point(90, 20)) == 0.9
+
+    def test_split_along_y(self, field):
+        keep = split_keep_probability(field, axis="y", fraction=0.25)
+        from repro.geometry.primitives import Point
+
+        assert keep(Point(50, 5)) == 0.65
+        assert keep(Point(50, 30)) == 1.0
+
+    def test_invalid_axis(self, field):
+        with pytest.raises(ValueError):
+            split_keep_probability(field, axis="z")
+
+    def test_invalid_fraction(self, field):
+        with pytest.raises(ValueError):
+            split_keep_probability(field, fraction=0.0)
+
+
+class TestSkewed:
+    def test_skew_produces_density_imbalance(self, field):
+        points = skewed_deployment(field, 4000, axis="x", fraction=0.5,
+                                   low_probability=0.4, rng=random.Random(5))
+        left = sum(1 for p in points if p.x < 50)
+        right = len(points) - left
+        assert left < 0.75 * right
+
+    def test_skewed_subset_of_field(self, field):
+        points = skewed_deployment(field, 500, rng=random.Random(5))
+        assert all(field.contains(p) for p in points)

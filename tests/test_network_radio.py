@@ -1,0 +1,87 @@
+"""Unit tests for the radio models (UDG, QUDG, log-normal)."""
+
+import numpy as np
+import pytest
+
+from repro.network.radio import LogNormalRadio, QuasiUnitDiskRadio, UnitDiskRadio
+
+
+class TestUnitDisk:
+    def test_step_function(self):
+        radio = UnitDiskRadio(5.0)
+        probs = radio.link_probability(np.array([4.9, 5.0, 5.1]))
+        assert list(probs) == [1.0, 1.0, 0.0]
+
+    def test_max_range(self):
+        assert UnitDiskRadio(5.0).max_range == 5.0
+
+    def test_deterministic(self):
+        assert UnitDiskRadio(5.0).is_deterministic()
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ValueError):
+            UnitDiskRadio(0.0)
+
+    def test_with_range(self):
+        assert UnitDiskRadio(5.0).with_range(2.0).communication_range == 2.0
+
+
+class TestQuasiUnitDisk:
+    def test_three_zones(self):
+        radio = QuasiUnitDiskRadio(10.0, alpha=0.4, p=0.3)
+        probs = radio.link_probability(np.array([5.9, 6.1, 13.9, 14.1]))
+        assert list(probs) == [1.0, 0.3, 0.3, 0.0]
+
+    def test_max_range_includes_band(self):
+        radio = QuasiUnitDiskRadio(10.0, alpha=0.4, p=0.3)
+        assert radio.max_range == pytest.approx(14.0)
+
+    def test_not_deterministic(self):
+        assert not QuasiUnitDiskRadio(10.0).is_deterministic()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QuasiUnitDiskRadio(10.0, alpha=1.0)
+        with pytest.raises(ValueError):
+            QuasiUnitDiskRadio(10.0, p=0.0)
+        with pytest.raises(ValueError):
+            QuasiUnitDiskRadio(10.0, p=1.0)
+
+
+class TestLogNormal:
+    def test_epsilon_zero_degenerates_to_udg(self):
+        radio = LogNormalRadio(5.0, epsilon=0.0)
+        probs = radio.link_probability(np.array([4.0, 6.0]))
+        assert list(probs) == [1.0, 0.0]
+        assert radio.is_deterministic()
+        assert radio.max_range == 5.0
+
+    def test_half_probability_at_nominal_range(self):
+        radio = LogNormalRadio(5.0, epsilon=2.0)
+        probs = radio.link_probability(np.array([5.0]))
+        assert probs[0] == pytest.approx(0.5)
+
+    def test_monotonically_decreasing(self):
+        radio = LogNormalRadio(5.0, epsilon=1.5)
+        distances = np.linspace(0.5, 20.0, 50)
+        probs = radio.link_probability(distances)
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_long_links_possible(self):
+        # The paper: "the link between nodes whose normalized distance is
+        # larger than 1 exists with a nonzero probability".
+        radio = LogNormalRadio(5.0, epsilon=2.0)
+        assert radio.link_probability(np.array([7.5]))[0] > 0.0
+
+    def test_short_links_can_fail(self):
+        radio = LogNormalRadio(5.0, epsilon=2.0)
+        assert radio.link_probability(np.array([4.0]))[0] < 1.0
+
+    def test_max_range_grows_with_epsilon(self):
+        r1 = LogNormalRadio(5.0, epsilon=1.0).max_range
+        r2 = LogNormalRadio(5.0, epsilon=2.0).max_range
+        assert r2 > r1 > 5.0
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            LogNormalRadio(5.0, epsilon=-1.0)

@@ -1,0 +1,93 @@
+"""Tests for the paper scenario registry."""
+
+import pytest
+
+from repro.network import (
+    FIG5_DEGREES,
+    FIG7_DEGREES,
+    FIG7_EPSILONS,
+    FIG8_SCENARIOS,
+    PAPER_SCENARIOS,
+    UnitDiskRadio,
+    estimate_range_for_degree,
+    get_scenario,
+)
+
+
+class TestRegistry:
+    def test_all_eleven_scenarios_present(self):
+        assert len(PAPER_SCENARIOS) == 11
+        assert set(PAPER_SCENARIOS) >= {
+            "window", "one_hole", "flower", "smile", "music",
+            "airplane", "cactus", "star_hole", "spiral", "two_holes", "star",
+        }
+
+    def test_window_matches_fig1_caption(self):
+        scenario = get_scenario("window")
+        assert scenario.num_nodes == 2592
+        assert scenario.target_avg_degree == pytest.approx(5.96)
+        assert scenario.paper_ref == "Fig. 1"
+
+    def test_fig8_variants(self):
+        assert set(FIG8_SCENARIOS) == {"window_skewed", "star_skewed"}
+        assert get_scenario("window_skewed").skewed_axis == "y"
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            get_scenario("hypercube")
+
+    def test_sweep_constants(self):
+        assert FIG5_DEGREES == [9.95, 14.24, 19.23, 22.72]
+        assert FIG7_EPSILONS == [0.0, 1.0, 2.0, 3.0]
+        assert FIG7_DEGREES == [5.19, 6.92, 11.54, 20.69]
+
+
+class TestRangeEstimation:
+    def test_estimate_hits_target_degree(self):
+        scenario = get_scenario("star")
+        network = scenario.build(seed=1, num_nodes=800)
+        # Within 25% of the paper's degree is close enough for a
+        # rejection-sampled random deployment.
+        assert network.average_degree == pytest.approx(
+            scenario.target_avg_degree, rel=0.25
+        )
+
+    def test_estimate_rejects_bad_inputs(self):
+        field = get_scenario("star").field()
+        with pytest.raises(ValueError):
+            estimate_range_for_degree(field, 0, 6.0)
+        with pytest.raises(ValueError):
+            estimate_range_for_degree(field, 100, 0.0)
+
+
+class TestBuild:
+    def test_build_is_connected(self):
+        network = get_scenario("music").build(seed=2, num_nodes=400)
+        assert network.is_connected()
+
+    def test_build_is_deterministic(self):
+        a = get_scenario("music").build(seed=2, num_nodes=300)
+        b = get_scenario("music").build(seed=2, num_nodes=300)
+        assert a.positions == b.positions
+        assert a.adjacency == b.adjacency
+
+    def test_build_with_custom_radio(self):
+        radio = UnitDiskRadio(4.0)
+        network = get_scenario("music").build(seed=2, radio=radio, num_nodes=300)
+        assert network.radio is radio
+
+    def test_scaled_scenario(self):
+        scenario = get_scenario("music").scaled(500)
+        assert scenario.num_nodes == 500
+        assert scenario.shape == "music"
+
+    def test_skewed_build_has_fewer_nodes(self):
+        scenario = get_scenario("window_skewed")
+        network = scenario.build(seed=1, num_nodes=1000)
+        # Thinning removes roughly (1 - 0.65)/2 of the sample.
+        assert network.num_nodes < 950
+
+    def test_field_carried_on_network(self):
+        network = get_scenario("music").build(seed=2, num_nodes=300)
+        assert network.field is not None
+        assert network.field.name == "music"

@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loops import simplify_closed_walk
+from repro.core.refine import SkeletonGraph, prune_short_branches
+from repro.geometry.polygon import Field
+from repro.geometry.primitives import (
+    BoundingBox,
+    Point,
+    dist,
+    polygon_signed_area,
+)
+from repro.geometry.shapes import rectangle_ring
+from repro.network import UnitDiskRadio, build_network
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+points = st.builds(Point, finite, finite)
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert dist(a, b) == dist(b, a)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert dist(a, c) <= dist(a, b) + dist(b, c) + 1e-6
+
+    @given(points)
+    def test_distance_to_self_is_zero(self, p):
+        assert dist(p, p) == 0.0
+
+    @given(points, points)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(points, st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_rotation_preserves_norm(self, p, angle):
+        rotated = p.rotated(angle)
+        assert math.isclose(p.norm(), rotated.norm(), rel_tol=1e-6, abs_tol=1e-3)
+
+
+class TestPolygonProperties:
+    @given(st.lists(points, min_size=3, max_size=12))
+    def test_signed_area_negates_under_reversal(self, vertices):
+        forward = polygon_signed_area(vertices)
+        backward = polygon_signed_area(list(reversed(vertices)))
+        assert math.isclose(forward, -backward, rel_tol=1e-9, abs_tol=1e-3)
+
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_bounding_box_contains_all(self, pts):
+        box = BoundingBox.of_points(pts)
+        assert all(box.contains(p) for p in pts)
+
+
+class TestFieldProperties:
+    @given(st.randoms(use_true_random=False), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_samples_inside(self, rng, n):
+        field = Field(outer=rectangle_ring(0, 0, 20, 10))
+        for p in field.sample_uniform(n, rng=rng):
+            assert field.contains(p)
+            assert field.distance_to_boundary(p) >= 0
+
+
+class TestSimplifyClosedWalk:
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=40))
+    def test_output_has_unique_nodes(self, walk):
+        out = simplify_closed_walk(walk)
+        assert len(out) == len(set(out))
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=40))
+    def test_output_subset_of_input(self, walk):
+        out = simplify_closed_walk(walk)
+        assert set(out) <= set(walk)
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=40))
+    def test_idempotent(self, walk):
+        once = simplify_closed_walk(walk)
+        assert simplify_closed_walk(once) == once
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=40))
+    def test_preserves_first_element(self, walk):
+        out = simplify_closed_walk(walk)
+        if walk:
+            assert out[0] == walk[0]
+
+
+def _graph_from_edge_list(edges):
+    g = SkeletonGraph(nodes=set(), edges=set())
+    for a, b in edges:
+        if a != b:
+            g.edges.add(frozenset((a, b)))
+            g.nodes |= {a, b}
+    return g
+
+
+class TestSkeletonGraphProperties:
+    edge_lists = st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=1, max_size=40,
+    )
+
+    @given(edge_lists)
+    def test_cycle_rank_nonnegative(self, edges):
+        g = _graph_from_edge_list(edges)
+        assert g.cycle_rank() >= 0
+
+    @given(edge_lists, st.integers(min_value=0, max_value=5))
+    def test_pruning_never_adds(self, edges, min_length):
+        g = _graph_from_edge_list(edges)
+        before_nodes = set(g.nodes)
+        before_edges = set(g.edges)
+        pruned = prune_short_branches(g, min_length)
+        assert pruned.nodes <= before_nodes
+        assert pruned.edges <= before_edges
+
+    @given(edge_lists, st.integers(min_value=0, max_value=5))
+    def test_pruning_preserves_cycle_rank(self, edges, min_length):
+        # Pruning removes only dangling branches, never cycle edges.
+        g = _graph_from_edge_list(edges)
+        rank_before = g.cycle_rank()
+        pruned = prune_short_branches(g, min_length)
+        assert pruned.cycle_rank() == rank_before
+
+
+class TestBfsProperties:
+    @given(st.integers(min_value=2, max_value=30))
+    def test_chain_distances_exact(self, n):
+        positions = [Point(float(i), 0.0) for i in range(n)]
+        net = build_network(positions, radio=UnitDiskRadio(1.1))
+        distances = net.bfs_distances(0)
+        assert all(distances[v] == v for v in range(n))
+
+    @given(st.integers(min_value=3, max_value=25), st.data())
+    def test_triangle_inequality_on_hops(self, n, data):
+        positions = [Point(float(i % 6), float(i // 6)) for i in range(n)]
+        net = build_network(positions, radio=UnitDiskRadio(1.3))
+        net = net.largest_component_subgraph()
+        if net.num_nodes < 3:
+            return
+        a = data.draw(st.integers(0, net.num_nodes - 1))
+        b = data.draw(st.integers(0, net.num_nodes - 1))
+        c = data.draw(st.integers(0, net.num_nodes - 1))
+        d_ab = net.bfs_distances(a)[b]
+        d_bc = net.bfs_distances(b)[c]
+        d_ac = net.bfs_distances(a)[c]
+        assert d_ac <= d_ab + d_bc

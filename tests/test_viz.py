@@ -1,0 +1,63 @@
+"""Tests for rendering and export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.viz import (
+    export_nodes_csv,
+    export_result_json,
+    render_network,
+    render_result,
+    result_to_dict,
+)
+
+
+class TestAsciiRender:
+    def test_dimensions(self, rectangle_network):
+        out = render_network(rectangle_network, width=60, height=20)
+        lines = out.splitlines()
+        assert len(lines) == 20
+        assert all(len(line) == 60 for line in lines)
+
+    def test_glyph_layers(self, rectangle_result):
+        out = render_result(rectangle_result, width=60, height=20, stage="final")
+        assert "#" in out
+        assert "." in out
+
+    def test_all_stages_render(self, rectangle_result):
+        for stage in ("critical", "segments", "coarse", "final", "boundary"):
+            assert render_result(rectangle_result, stage=stage)
+
+    def test_unknown_stage(self, rectangle_result):
+        with pytest.raises(ValueError):
+            render_result(rectangle_result, stage="imaginary")
+
+    def test_empty_network(self):
+        from repro.network import UnitDiskRadio, build_network
+
+        empty = build_network([], radio=UnitDiskRadio(1.0))
+        assert "empty" in render_network(empty)
+
+
+class TestExport:
+    def test_result_to_dict_shape(self, rectangle_result):
+        data = result_to_dict(rectangle_result)
+        assert data["num_nodes"] == rectangle_result.network.num_nodes
+        assert len(data["positions"]) == data["num_nodes"]
+        assert data["skeleton_nodes"]
+        assert "stage_summary" in data
+
+    def test_json_roundtrip(self, rectangle_result, tmp_path):
+        path = export_result_json(rectangle_result, tmp_path / "result.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["critical_nodes"] == list(rectangle_result.critical_nodes)
+
+    def test_csv_rows(self, rectangle_result, tmp_path):
+        path = export_nodes_csv(rectangle_result, tmp_path / "nodes.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == rectangle_result.network.num_nodes
+        skeleton_flags = sum(int(r["is_skeleton"]) for r in rows)
+        assert skeleton_flags == len(rectangle_result.skeleton.nodes)
