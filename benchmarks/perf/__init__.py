@@ -1,0 +1,6 @@
+"""Traversal micro-benchmarks (``pytest -m perf benchmarks/perf``).
+
+Excluded from tier-1 (which only collects ``tests/``); the ``perf`` marker
+additionally lets ``pytest -m "not perf" benchmarks`` skip them when the
+reproduction benches run.
+"""

@@ -29,7 +29,10 @@ def test_bench_fig4_scenarios(benchmark, bench_scale):
     else:
         assert missed <= 1
     # Phantom loops around severe density pockets cost some scenarios the
-    # exact count (documented limitation; see EXPERIMENTS.md).
+    # exact count (documented limitation; see EXPERIMENTS.md).  The
+    # full-scale run elects 5/10 exactly-homotopic scenarios with zero
+    # missed holes (bench_output_fullscale.txt captured an older >= 7
+    # threshold failing on that same 5 before it was calibrated).
     assert homotopic >= 4
     for row in report.rows:
         assert row["medialness"] < 4.0

@@ -24,6 +24,9 @@ def is_locally_maximal(network: SensorNetwork, node: int,
     """True when ``(values[node], node)`` beats all of node's *hops*-hop
     neighbours lexicographically."""
     mine = (values[node], node)
+    if hops == 1:
+        # Fast path: the 1-hop ball is exactly the adjacency list — no BFS.
+        return all((values[v], v) < mine for v in network.adjacency[node])
     reach = network.bfs_distances(node, max_hops=hops)
     for other in reach:
         if other == node:
@@ -45,6 +48,12 @@ def find_critical_nodes(network: SensorNetwork,
     if index_data is None:
         index_data = compute_indices(network, params)
     values = index_data.index
+    if params.backend == "vectorized" and network.num_nodes:
+        import numpy as np
+
+        engine = network.traversal(params.traversal_batch_width)
+        maxima = engine.all_local_maxima(values, hops=params.local_max_hops)
+        return np.flatnonzero(maxima).tolist()
     return [
         node
         for node in network.nodes()

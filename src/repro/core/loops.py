@@ -463,7 +463,11 @@ def identify_loops(
     network = skeleton.network
     if boundary_nodes is None:
         from .byproducts import detect_boundary_nodes
-        sizes = network.k_hop_sizes(params.k, include_self=params.include_self)
+        from .neighborhood import compute_khop_sizes
+        sizes = compute_khop_sizes(
+            network, params.k, include_self=params.include_self,
+            backend=params.backend, batch_width=params.traversal_batch_width,
+        )
         boundary_nodes = detect_boundary_nodes(
             network, sizes, params.boundary_threshold_factor
         )

@@ -63,6 +63,15 @@ class SkeletonParams:
         min_loop_hops: cycles shorter than this many hops are always fake —
             they cannot wrap a hole that matters at hop resolution (the
             discrete analogue of the paper's end-node-loop threshold).
+        backend: traversal backend for the hop-count hot path.
+            ``"vectorized"`` (default) runs batched CSR frontier-expansion
+            kernels (:class:`repro.network.TraversalEngine`);
+            ``"reference"`` keeps the pure-Python per-node BFS oracle.
+            Both produce identical results (equivalence-tested); the
+            vectorized backend is simply faster.
+        traversal_batch_width: number of BFS sources expanded per batch by
+            the vectorized backend — bounds peak memory at roughly
+            ``batch_width × n`` bytes per boolean working matrix.
     """
 
     k: int = 4
@@ -76,8 +85,14 @@ class SkeletonParams:
     isoperimetric_threshold: float = 1.4
     interior_factor: float = 0.5
     min_loop_hops: int = 10
+    backend: str = "vectorized"
+    traversal_batch_width: int = 1024
 
     def __post_init__(self) -> None:
+        if self.backend not in ("vectorized", "reference"):
+            raise ValueError("backend must be 'vectorized' or 'reference'")
+        if self.traversal_batch_width < 1:
+            raise ValueError("traversal_batch_width must be >= 1")
         if self.k < 1:
             raise ValueError("k must be >= 1")
         if self.l < 1:

@@ -121,7 +121,14 @@ def build_voronoi(network: SensorNetwork, sites: Sequence[int],
     sites = sorted(set(sites))
     if not sites:
         raise ValueError("at least one site is required")
-    dist, parent = network.multi_source_distances(sites)
+    if params.backend == "vectorized":
+        # Bit-identical to the reference BFS (same dist AND parents), so
+        # downstream reverse paths and the coarse skeleton do not change
+        # with the backend.
+        engine = network.traversal(params.traversal_batch_width)
+        dist, parent = engine.multi_source_distances(sites)
+    else:
+        dist, parent = network.multi_source_distances(sites)
 
     n = network.num_nodes
     records: List[List[Tuple[int, int]]] = []

@@ -6,6 +6,7 @@ rest of the library sees only :class:`SensorNetwork` adjacency.
 
 from .radio import LogNormalRadio, QuasiUnitDiskRadio, RadioModel, UnitDiskRadio
 from .graph import SensorNetwork, build_network, line_of_sight_blocked
+from .traversal import TraversalEngine
 from .deployment import (
     grid_deployment,
     skewed_deployment,
@@ -31,6 +32,7 @@ __all__ = [
     "QuasiUnitDiskRadio",
     "LogNormalRadio",
     "SensorNetwork",
+    "TraversalEngine",
     "build_network",
     "line_of_sight_blocked",
     "uniform_deployment",

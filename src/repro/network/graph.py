@@ -15,10 +15,12 @@ sizes, Voronoi-cell flooding and path reconstruction.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+from scipy import sparse
 from scipy.spatial import cKDTree
 
 from ..geometry.polygon import Field
@@ -104,6 +106,11 @@ class SensorNetwork:
                     raise ValueError(f"node {u} lists itself as a neighbour")
         self.field = field
         self.radio = radio
+        # Lazy caches for the vectorized traversal engine.  The adjacency
+        # is immutable after construction, so neither ever needs
+        # invalidation.
+        self._csr: Optional[sparse.csr_matrix] = None
+        self._engines: Dict[int, "TraversalEngine"] = {}
 
     # -- basic accessors --------------------------------------------------
 
@@ -131,7 +138,50 @@ class SensorNetwork:
         return range(self.num_nodes)
 
     def has_edge(self, u: int, v: int) -> bool:
-        return v in self.adjacency[u]
+        # Neighbour lists are sorted at construction, so membership is a
+        # binary search rather than a linear scan.
+        nbrs = self.adjacency[u]
+        i = bisect_left(nbrs, v)
+        return i < len(nbrs) and nbrs[i] == v
+
+    # -- vectorized traversal substrate ------------------------------------
+
+    def csr_adjacency(self) -> sparse.csr_matrix:
+        """The adjacency as a cached ``scipy.sparse`` CSR matrix.
+
+        Built lazily on first use; the graph is immutable so the cache is
+        invalidation-free.  Data is int32 ones so frontier-expansion
+        products count reaching neighbours without overflow.
+        """
+        if self._csr is None:
+            n = self.num_nodes
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            if n:
+                np.cumsum([len(nbrs) for nbrs in self.adjacency],
+                          out=indptr[1:])
+            nnz = int(indptr[-1]) if n else 0
+            indices = np.fromiter(
+                (v for nbrs in self.adjacency for v in nbrs),
+                dtype=np.int64, count=nnz,
+            )
+            data = np.ones(nnz, dtype=np.int32)
+            self._csr = sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+        return self._csr
+
+    def traversal(self, batch_width: Optional[int] = None) -> "TraversalEngine":
+        """The cached vectorized traversal engine for this network.
+
+        One engine is kept per requested batch width (engines are cheap —
+        they share the CSR matrix — but callers normally use one width).
+        """
+        from .traversal import DEFAULT_BATCH_WIDTH, TraversalEngine
+
+        width = batch_width if batch_width is not None else DEFAULT_BATCH_WIDTH
+        engine = self._engines.get(width)
+        if engine is None:
+            engine = TraversalEngine(self, batch_width=width)
+            self._engines[width] = engine
+        return engine
 
     # -- traversal kernels -------------------------------------------------
 

@@ -1,0 +1,247 @@
+"""Equivalence of the vectorized CSR traversal engine and the BFS oracle.
+
+Property-style checks on random UDG/QUDG networks across seeds: every
+kernel of :class:`repro.network.TraversalEngine` must reproduce the pure
+Python reference traversals exactly — k-hop sizes, l-centrality, multi-
+source distances *and* parents (the engine is bit-identical by design),
+parent-path validity, and the elected critical nodes.  Disconnected
+graphs, isolated nodes and ``k`` beyond the diameter are covered
+explicitly.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import SkeletonExtractor
+from repro.core.identification import find_critical_nodes, is_locally_maximal
+from repro.core.neighborhood import (
+    compute_indices,
+    compute_khop_sizes,
+    compute_l_centrality,
+)
+from repro.core.params import SkeletonParams
+from repro.core.voronoi import build_voronoi
+from repro.geometry import make_field
+from repro.network import (
+    QuasiUnitDiskRadio,
+    SensorNetwork,
+    UnitDiskRadio,
+    build_network,
+)
+from repro.network.deployment import uniform_deployment
+from repro.network.graph import UNREACHED
+
+
+def random_network(seed, n=180, radio=None, shape="rectangle", radio_range=5.0):
+    """A random deployment; deliberately *not* reduced to the largest
+    component, so low-density seeds exercise disconnected graphs."""
+    field = make_field(shape)
+    rng = random.Random(seed)
+    positions = uniform_deployment(field, n, rng=rng)
+    radio = radio if radio is not None else UnitDiskRadio(radio_range)
+    return build_network(positions, radio=radio, field=field, rng=rng)
+
+
+def network_grid(seed):
+    """UDG and QUDG variants for one seed (QUDG drops links at random,
+    which fragments the graph at this density)."""
+    return [
+        random_network(seed),
+        random_network(seed, radio=QuasiUnitDiskRadio(5.0, alpha=0.4, p=0.3)),
+    ]
+
+
+SEEDS = [1, 2, 5, 11]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_khop_sizes_match_reference(seed):
+    for net in network_grid(seed):
+        engine = net.traversal(batch_width=48)
+        # k = 64 far exceeds the diameter of these 180-node deployments.
+        for k in (1, 2, 3, 4, 64):
+            for include_self in (True, False):
+                ref = net.k_hop_sizes(k, include_self=include_self)
+                vec = engine.all_khop_sizes(k, include_self=include_self)
+                assert vec.tolist() == ref
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_khop_stats_match_reference(seed):
+    for net in network_grid(seed):
+        engine = net.traversal(batch_width=48)
+        for k, l in ((4, 4), (3, 3), (2, 4), (4, 2), (1, 1)):
+            for include_self in (True, False):
+                sizes_ref = net.k_hop_sizes(k, include_self=include_self)
+                cent_ref = compute_l_centrality(
+                    net, l, sizes_ref, include_self=include_self
+                )
+                sizes_vec, cent_vec = engine.khop_stats(
+                    k, l, include_self=include_self
+                )
+                assert sizes_vec.tolist() == sizes_ref
+                # Sums are integral in both backends, so the division
+                # results are bit-identical, not merely close.
+                assert cent_vec.tolist() == cent_ref
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_l_centrality_kernel_matches_reference(seed):
+    net = random_network(seed)
+    engine = net.traversal()
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1, 50, size=net.num_nodes).tolist()
+    for l in (1, 3):
+        ref = compute_l_centrality(net, l, sizes)
+        assert engine.l_centrality(l, sizes).tolist() == ref
+    vec = compute_l_centrality(net, 2, sizes, backend="vectorized")
+    assert vec == compute_l_centrality(net, 2, sizes, backend="reference")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multi_source_distances_bit_identical(seed):
+    for net in network_grid(seed):
+        engine = net.traversal()
+        rng = random.Random(seed)
+        sites = sorted(rng.sample(range(net.num_nodes), 9))
+        blocked = set(rng.sample(range(net.num_nodes), 15)) - set(sites)
+        for blk in (None, blocked):
+            dist_ref, parent_ref = net.multi_source_distances(sites, blocked=blk)
+            dist_vec, parent_vec = engine.multi_source_distances(sites, blocked=blk)
+            assert np.array_equal(dist_ref, dist_vec)
+            assert np.array_equal(parent_ref, parent_vec)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_multi_source_parent_paths_valid(seed):
+    net = random_network(seed)
+    engine = net.traversal()
+    rng = random.Random(seed)
+    sites = sorted(rng.sample(range(net.num_nodes), 6))
+    dist, parent = engine.multi_source_distances(sites)
+    for si, site in enumerate(sites):
+        for node in net.nodes():
+            d = dist[si, node]
+            if d == UNREACHED:
+                assert parent[si, node] == -1
+                continue
+            path = net.path_to_source(parent[si], node)
+            assert len(path) == d + 1
+            assert path[0] == node and path[-1] == site
+            for a, b in zip(path, path[1:]):
+                assert net.has_edge(a, b)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_local_maxima_match_reference(seed):
+    for net in network_grid(seed):
+        engine = net.traversal()
+        rng = np.random.default_rng(seed)
+        # Quantized values force plateaus, exercising the id tie-break.
+        values = np.round(rng.random(net.num_nodes) * 4, 1).tolist()
+        for hops in (1, 2, 3):
+            ref = [
+                is_locally_maximal(net, node, values, hops=hops)
+                for node in net.nodes()
+            ]
+            assert engine.all_local_maxima(values, hops=hops).tolist() == ref
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_critical_node_election_identical(seed):
+    for net in network_grid(seed):
+        ref_params = SkeletonParams(backend="reference")
+        vec_params = SkeletonParams(backend="vectorized")
+        idx_ref = compute_indices(net, ref_params)
+        idx_vec = compute_indices(net, vec_params)
+        assert idx_vec.khop_sizes == idx_ref.khop_sizes
+        assert idx_vec.centrality == idx_ref.centrality
+        assert idx_vec.index == idx_ref.index
+        crit_ref = find_critical_nodes(net, idx_ref, ref_params)
+        crit_vec = find_critical_nodes(net, idx_vec, vec_params)
+        assert crit_vec == crit_ref
+
+
+def test_full_extraction_identical_across_backends():
+    net = random_network(3, n=260)
+    if not net.is_connected():
+        net = net.largest_component_subgraph()
+    res_ref = SkeletonExtractor(SkeletonParams(backend="reference")).extract(net)
+    res_vec = SkeletonExtractor(SkeletonParams(backend="vectorized")).extract(net)
+    assert res_vec.critical_nodes == res_ref.critical_nodes
+    assert np.array_equal(res_vec.voronoi.dist, res_ref.voronoi.dist)
+    assert np.array_equal(res_vec.voronoi.parent, res_ref.voronoi.parent)
+    assert res_vec.coarse.nodes == res_ref.coarse.nodes
+    assert res_vec.coarse.edges == res_ref.coarse.edges
+    assert res_vec.skeleton.nodes == res_ref.skeleton.nodes
+
+
+def test_voronoi_identical_across_backends():
+    net = random_network(7, n=200)
+    params_ref = SkeletonParams(backend="reference")
+    idx = compute_indices(net, params_ref)
+    sites = find_critical_nodes(net, idx, params_ref)
+    vor_ref = build_voronoi(net, sites, params_ref)
+    vor_vec = build_voronoi(net, sites, SkeletonParams(backend="vectorized"))
+    assert vor_vec.cell_of == vor_ref.cell_of
+    assert vor_vec.segment_nodes == vor_ref.segment_nodes
+    assert vor_vec.voronoi_nodes == vor_ref.voronoi_nodes
+    assert vor_vec.records == vor_ref.records
+
+
+def test_disconnected_and_isolated_nodes():
+    # Two explicit triangles plus an isolated node.
+    adjacency = [[1, 2], [0, 2], [0, 1], [4, 5], [3, 5], [3, 4], []]
+    from repro.geometry.primitives import Point
+
+    positions = [Point(float(i), 0.0) for i in range(7)]
+    net = SensorNetwork(positions, adjacency)
+    engine = net.traversal()
+    for k in (1, 2, 5):
+        assert engine.all_khop_sizes(k).tolist() == net.k_hop_sizes(k)
+    dist_ref, parent_ref = net.multi_source_distances([0, 6])
+    dist_vec, parent_vec = engine.multi_source_distances([0, 6])
+    assert np.array_equal(dist_ref, dist_vec)
+    assert np.array_equal(parent_ref, parent_vec)
+    assert dist_vec[0, 3] == UNREACHED  # other component
+    assert dist_vec[1].tolist() == [UNREACHED] * 6 + [0]  # isolated source
+    values = [1.0] * 7
+    assert engine.all_local_maxima(values, hops=1).tolist() == [
+        is_locally_maximal(net, v, values, hops=1) for v in net.nodes()
+    ]
+
+
+def test_has_edge_bisect_matches_membership():
+    net = random_network(9)
+    for u in net.nodes():
+        nbrs = set(net.adjacency[u])
+        for v in list(nbrs)[:5]:
+            assert net.has_edge(u, v)
+        for v in (0, net.num_nodes - 1, u):
+            assert net.has_edge(u, v) == (v in nbrs)
+
+
+def test_compute_khop_sizes_backend_switch():
+    net = random_network(4)
+    ref = compute_khop_sizes(net, 3, backend="reference")
+    vec = compute_khop_sizes(net, 3, backend="vectorized")
+    assert ref == vec
+
+
+def test_params_validate_backend():
+    with pytest.raises(ValueError):
+        SkeletonParams(backend="gpu")
+    with pytest.raises(ValueError):
+        SkeletonParams(traversal_batch_width=0)
+
+
+def test_engine_batch_width_boundaries():
+    net = random_network(2, n=50)
+    ref = net.k_hop_sizes(4)
+    for width in (1, 7, 50, 4096):
+        engine = net.traversal(batch_width=width)
+        assert engine.all_khop_sizes(4).tolist() == ref
+    with pytest.raises(ValueError):
+        net.traversal(batch_width=0)
