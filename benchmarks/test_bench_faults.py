@@ -1,0 +1,64 @@
+"""E-FAULT — skeleton degradation under per-link message loss.
+
+Sweeps the drop probability on the Window and two-holes scenarios with
+link-layer ack/retry on and off, asserts the acceptance envelope (Window
+stays connected and homotopic up to at least 10% per-link drop with
+retries), and records the failure knees in ``BENCH_faults.json`` at the
+repository root.
+"""
+
+import json
+import platform
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.analysis import failure_knee
+from repro.experiments import run_fault_degradation
+from repro.experiments.faults import MIN_FAULT_SCALE
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_faults.json"
+
+
+def test_bench_fault_degradation(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_fault_degradation(scale=bench_scale))
+    print()
+    print(report.to_table())
+
+    retry_rows = [r for r in report.rows if r["arm"] == "retry"]
+    knees = failure_knee(retry_rows)
+    window = knees["window"]
+    # Acceptance: with retries, Window survives at least 10% per-link drop.
+    assert window.max_ok_rate is not None and window.max_ok_rate >= 0.1, (
+        f"Window skeleton degraded below the 10% drop envelope: {window}"
+    )
+
+    # Drop rate 0 must match the fault-free path: retries are never needed.
+    for row in report.rows:
+        if row["drop_rate"] == 0.0:
+            assert row["retries"] == 0 and row["drops"] == 0
+    # Under loss, the retry arm pays recovery traffic the bare arm cannot.
+    lossy = [r for r in retry_rows if r["drop_rate"] > 0]
+    assert all(r["retries"] > 0 for r in lossy)
+
+    no_retry_knees = failure_knee([r for r in report.rows if r["arm"] == "no_retry"])
+    OUTPUT_PATH.write_text(json.dumps({
+        "benchmark": "fault-degradation sweep",
+        "scale": max(bench_scale, MIN_FAULT_SCALE),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": report.rows,
+        "failure_knees": {
+            arm: {
+                name: {
+                    "max_ok_rate": knee.max_ok_rate,
+                    "knee_rate": knee.knee_rate,
+                    "survived_sweep": knee.survived_sweep,
+                }
+                for name, knee in sorted(arm_knees.items())
+            }
+            for arm, arm_knees in (("retry", knees), ("no_retry", no_retry_knees))
+        },
+        "notes": report.notes,
+    }, indent=2) + "\n")
+    print(f"wrote {OUTPUT_PATH}")

@@ -7,6 +7,7 @@ from .metrics import (
     network_wraps_point,
     preserved_holes,
 )
+from .degradation import DegradationKnee, failure_knee
 from .stability import StabilityScore, skeleton_stability
 from .complexity import PowerLawFit, fit_power_law, messages_per_node
 from .comparison import ComparisonRow, compare_extractors
@@ -17,6 +18,8 @@ __all__ = [
     "evaluate_skeleton",
     "network_wraps_point",
     "preserved_holes",
+    "DegradationKnee",
+    "failure_knee",
     "StabilityScore",
     "skeleton_stability",
     "PowerLawFit",

@@ -1,0 +1,75 @@
+"""Fault-degradation analysis: where does the skeleton stop being correct?
+
+The fault sweep (:func:`repro.experiments.run_fault_degradation`) produces
+one row per (scenario, drop rate); this module locates the *failure knee* —
+the lowest loss level at which the extracted skeleton is no longer both
+connected and homotopic to the preserved holes.  Everything below the knee
+is the algorithm's operating envelope under that fault model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+__all__ = ["DegradationKnee", "failure_knee"]
+
+Row = Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class DegradationKnee:
+    """The failure knee of one scenario's degradation curve.
+
+    Attributes:
+        scenario: scenario name.
+        max_ok_rate: highest swept rate at which the skeleton was still
+            correct (``None`` when it was never correct — e.g. a scenario
+            that fails fault-free).
+        knee_rate: lowest swept rate at which correctness was lost
+            (``None`` when the sweep never reached failure).
+    """
+
+    scenario: str
+    max_ok_rate: Optional[float]
+    knee_rate: Optional[float]
+
+    @property
+    def survived_sweep(self) -> bool:
+        return self.knee_rate is None
+
+
+def _default_ok(row: Row) -> bool:
+    return bool(row["connected"]) and bool(row["homotopy_ok"])
+
+
+def failure_knee(rows: List[Row],
+                 ok: Callable[[Row], bool] = _default_ok,
+                 rate_key: str = "drop_rate",
+                 scenario_key: str = "scenario") -> Dict[str, DegradationKnee]:
+    """Locate each scenario's failure knee in a degradation sweep.
+
+    *rows* holds one mapping per (scenario, rate) with at least
+    ``scenario_key`` and ``rate_key``; *ok* decides whether a row counts as
+    correct (default: connected and homotopic).  The knee is conservative:
+    the first failing rate in ascending order, even if a higher rate
+    happens to pass again (non-monotone recoveries are luck, not envelope).
+    """
+    by_scenario: Dict[str, List[Row]] = {}
+    for row in rows:
+        by_scenario.setdefault(str(row[scenario_key]), []).append(row)
+    knees: Dict[str, DegradationKnee] = {}
+    for scenario, group in by_scenario.items():
+        ordered = sorted(group, key=lambda r: float(r[rate_key]))  # type: ignore[arg-type]
+        max_ok: Optional[float] = None
+        knee: Optional[float] = None
+        for row in ordered:
+            rate = float(row[rate_key])  # type: ignore[arg-type]
+            if ok(row) and knee is None:
+                max_ok = rate
+            elif knee is None:
+                knee = rate
+        knees[scenario] = DegradationKnee(
+            scenario=scenario, max_ok_rate=max_ok, knee_rate=knee,
+        )
+    return knees

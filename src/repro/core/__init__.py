@@ -14,7 +14,9 @@ from .loops import Loop, LoopAnalysis, identify_loops
 from .distributed import (
     DistributedExtraction,
     SkeletonNodeProtocol,
+    extract_skeleton_distributed,
     run_distributed_stages,
+    voronoi_from_distributed,
 )
 from .refine import (
     SkeletonGraph,
@@ -25,7 +27,7 @@ from .refine import (
 )
 from .byproducts import Segmentation, detect_boundary_nodes, segmentation_from_voronoi
 from .result import SkeletonResult
-from .pipeline import SkeletonExtractor, extract_skeleton
+from .pipeline import SkeletonExtractor, empty_skeleton_result, extract_skeleton
 
 __all__ = [
     "LoopStrategy",
@@ -45,7 +47,9 @@ __all__ = [
     "identify_loops",
     "DistributedExtraction",
     "SkeletonNodeProtocol",
+    "extract_skeleton_distributed",
     "run_distributed_stages",
+    "voronoi_from_distributed",
     "SkeletonGraph",
     "rebuild_with_genuine_loops",
     "merge_fake_loops",
@@ -56,5 +60,6 @@ __all__ = [
     "segmentation_from_voronoi",
     "SkeletonResult",
     "SkeletonExtractor",
+    "empty_skeleton_result",
     "extract_skeleton",
 ]

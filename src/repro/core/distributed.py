@@ -17,6 +17,17 @@ side of Theorem 5 (O(√n) rounds, O((k+l+1)n) broadcasts):
 The composite protocol is time-triggered: because the runtime is
 synchronous and every node knows k and l, phase boundaries need no control
 messages.  Tests assert the outcome matches the centralized engine exactly.
+
+The stages also run over the lossy fabric of :mod:`repro.runtime.faults`:
+pass a ``fault_plan`` (and usually a ``retry_policy``) to
+:func:`run_distributed_stages`.  Phase boundaries are evaluated as
+"reached and not yet computed", so a node that was crashed across a
+boundary catches up on recovery instead of dying with half-initialised
+state; with a zero-probability plan the outcome is bit-identical to the
+fault-free run.  :func:`voronoi_from_distributed` and
+:func:`extract_skeleton_distributed` lift a (possibly degraded) distributed
+outcome into the centralized stage-3/4 data model so the full pipeline —
+and its quality metrics — can be evaluated under faults.
 """
 
 from __future__ import annotations
@@ -24,14 +35,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..network.graph import SensorNetwork
+import numpy as np
+
+from ..network.graph import UNREACHED, SensorNetwork
+from ..runtime.faults import FaultPlan, RetryPolicy
 from ..runtime.message import Message
 from ..runtime.protocol import NodeApi, NodeProtocol
 from ..runtime.scheduler import SynchronousScheduler
 from ..runtime.stats import RunStats
 from .params import SkeletonParams
+from .voronoi import SitePair, VoronoiDecomposition
 
-__all__ = ["SkeletonNodeProtocol", "DistributedExtraction", "run_distributed_stages"]
+__all__ = [
+    "SkeletonNodeProtocol",
+    "DistributedExtraction",
+    "run_distributed_stages",
+    "voronoi_from_distributed",
+    "extract_skeleton_distributed",
+]
 
 
 class SkeletonNodeProtocol(NodeProtocol):
@@ -114,6 +135,10 @@ class SkeletonNodeProtocol(NodeProtocol):
             self._site_forwarded = True
             return
         if site in self.site_records:
+            # Lossy links can deliver waves out of distance order; keep the
+            # shortest path seen (no re-forward — the ≤ 1 bound stands).
+            if my_dist < self.site_records[site][0]:
+                self.site_records[site] = (my_dist, message.sender)
             return
         best = min(d for d, _ in self.site_records.values())
         if my_dist - best <= self.params.alpha:
@@ -129,8 +154,11 @@ class SkeletonNodeProtocol(NodeProtocol):
                 self._nbr_sent += 1
             self._fresh_ids = set()
             return
-        # Boundary: compute the k-hop size, seed phase 2.
-        if rnd == self._size_phase_start:
+        # Boundary: compute the k-hop size, seed phase 2.  Boundaries test
+        # "reached and not yet computed" rather than exact equality so a
+        # node that was crashed across a boundary catches up — possibly
+        # running several boundary computations in one hook — on recovery.
+        if self.khop_size is None:
             self.khop_size = len(self.known) if params.include_self \
                 else len(self.known) - 1
             self.sizes[self.node_id] = self.khop_size
@@ -142,7 +170,7 @@ class SkeletonNodeProtocol(NodeProtocol):
             self._fresh_sizes = {}
             return
         # Boundary: compute centrality + index, seed phase 3.
-        if rnd == self._index_phase_start:
+        if self.index is None:
             members = list(self.sizes.values())
             self.centrality = sum(members) / len(members) if members else 0.0
             self.index = (self.khop_size + self.centrality) / 2.0
@@ -155,13 +183,16 @@ class SkeletonNodeProtocol(NodeProtocol):
             self._fresh_indices = {}
             return
         # Boundary: decide criticality; sites launch the Voronoi flood.
-        if rnd == self._decision_round:
+        if self.is_critical is None:
             mine = (self.index, self.node_id)
             self.is_critical = all(
                 (value, node) <= mine
                 for node, value in self.indices.items()
             )
             if self.is_critical:
+                # A late-deciding site (crash recovery) may already have
+                # joined another site's tree; its own record still wins at
+                # distance 0.
                 self.site_records[self.node_id] = (0, None)
                 api.broadcast(self.SITE, (self.node_id, 0))
                 self._site_forwarded = True
@@ -202,15 +233,21 @@ class DistributedExtraction:
 
 def run_distributed_stages(network: SensorNetwork,
                            params: Optional[SkeletonParams] = None,
-                           max_rounds: int = 100_000) -> DistributedExtraction:
+                           max_rounds: int = 100_000,
+                           fault_plan: Optional[FaultPlan] = None,
+                           retry_policy: Optional[RetryPolicy] = None,
+                           ) -> DistributedExtraction:
     """Run identification + Voronoi construction as real protocols.
 
     Returns per-node outcomes plus the runtime's message accounting (the
-    Theorem 5 measurements).
+    Theorem 5 measurements).  *fault_plan* injects deterministic message
+    drops, link flaps and node crashes; *retry_policy* enables link-layer
+    ack/retry recovery (see :mod:`repro.runtime.faults`).
     """
     params = params if params is not None else SkeletonParams()
     scheduler = SynchronousScheduler(
-        network, lambda node: SkeletonNodeProtocol(node, params)
+        network, lambda node: SkeletonNodeProtocol(node, params),
+        fault_plan=fault_plan, retry_policy=retry_policy,
     )
     stats = scheduler.run(max_rounds=max_rounds)
     protocols: List[SkeletonNodeProtocol] = scheduler.protocols  # type: ignore[assignment]
@@ -223,4 +260,159 @@ def run_distributed_stages(network: SensorNetwork,
         critical_nodes=[p.node_id for p in protocols if p.is_critical],
         site_records=[p.site_records for p in protocols],
         stats=stats,
+    )
+
+
+def voronoi_from_distributed(
+    outcome: DistributedExtraction,
+) -> Optional[VoronoiDecomposition]:
+    """Lift a distributed outcome's site records into the centralized
+    :class:`VoronoiDecomposition` data model.
+
+    Distances and parents come from what each node actually recorded during
+    the (possibly faulty) flood, with :data:`UNREACHED` where a wave never
+    arrived or was discarded — so downstream stages 3 and 4 consume exactly
+    the information the real network gathered.  Reverse paths stay
+    followable because a node only records a parent that itself forwarded
+    (i.e. joined) that site's tree, and stored distances strictly decrease
+    along the chain.  Returns ``None`` when no site was elected (possible
+    only under faults, e.g. every candidate crashed).
+    """
+    network = outcome.network
+    params = outcome.params
+    sites = sorted(set(outcome.critical_nodes))
+    if not sites:
+        return None
+    site_row = {site: i for i, site in enumerate(sites)}
+    n = network.num_nodes
+    dist = np.full((len(sites), n), UNREACHED, dtype=np.int32)
+    parent = np.full((len(sites), n), -1, dtype=np.int32)
+    records: List[List[Tuple[int, int]]] = []
+    cell_of: List[int] = []
+    segment_nodes: Set[int] = set()
+    voronoi_nodes: Set[int] = set()
+    pair_segments: Dict[SitePair, List[int]] = {}
+
+    for node in range(n):
+        recorded = outcome.site_records[node]
+        for site, (d, par) in recorded.items():
+            row = site_row.get(site)
+            if row is None:
+                continue  # recorded a wave from a node that later lost election state
+            dist[row, node] = d
+            parent[row, node] = par if par is not None else -1
+        reachable = sorted(
+            (d, site) for site, (d, _) in recorded.items() if site in site_row
+        )
+        if not reachable:
+            records.append([])
+            cell_of.append(-1)
+            continue
+        best = reachable[0][0]
+        near = sorted(
+            [(site, d) for d, site in reachable if d - best <= params.alpha],
+            key=lambda item: (item[1], item[0]),
+        )
+        records.append(near)
+        cell_of.append(near[0][0])
+        if len(near) >= 2:
+            segment_nodes.add(node)
+            near_sites = [site for site, _ in near]
+            for i in range(len(near_sites)):
+                for j in range(i + 1, len(near_sites)):
+                    pair = (min(near_sites[i], near_sites[j]),
+                            max(near_sites[i], near_sites[j]))
+                    pair_segments.setdefault(pair, []).append(node)
+        if len(near) >= 3:
+            voronoi_nodes.add(node)
+
+    # Border edges, exactly as the centralized builder derives them.
+    pair_border_edges: Dict[SitePair, List[Tuple[int, int]]] = {}
+    for u in range(n):
+        cu = cell_of[u]
+        if cu < 0:
+            continue
+        for v in network.neighbors(u):
+            if v <= u:
+                continue
+            cv = cell_of[v]
+            if cv < 0 or cv == cu:
+                continue
+            pair = (min(cu, cv), max(cu, cv))
+            edge = (u, v) if cu == pair[0] else (v, u)
+            pair_border_edges.setdefault(pair, []).append(edge)
+
+    return VoronoiDecomposition(
+        network=network,
+        sites=sites,
+        dist=dist,
+        parent=parent,
+        records=records,
+        cell_of=cell_of,
+        segment_nodes=segment_nodes,
+        voronoi_nodes=voronoi_nodes,
+        pair_segments=pair_segments,
+        pair_border_edges=pair_border_edges,
+    )
+
+
+def extract_skeleton_distributed(network: SensorNetwork,
+                                 params: Optional[SkeletonParams] = None,
+                                 fault_plan: Optional[FaultPlan] = None,
+                                 retry_policy: Optional[RetryPolicy] = None,
+                                 max_rounds: int = 100_000):
+    """Full pipeline with stages 1–2 executed as message-passing protocols.
+
+    Stages 3 and 4 (coarse skeleton, loop clean-up) run centrally over the
+    *distributed* stage artifacts — under faults these may be degraded, and
+    the returned :class:`~repro.core.result.SkeletonResult` reflects exactly
+    that degradation.  With no faults (or a zero-probability plan) the
+    result matches the fault-free distributed run bit-for-bit.  When no site
+    was elected the result degenerates gracefully to an empty skeleton.
+    """
+    from .byproducts import detect_boundary_nodes, segmentation_from_voronoi
+    from .coarse import build_coarse_skeleton
+    from .loops import identify_loops
+    from .neighborhood import IndexData
+    from .pipeline import empty_skeleton_result
+    from .refine import refine_skeleton
+    from .result import SkeletonResult
+
+    params = params if params is not None else SkeletonParams()
+    outcome = run_distributed_stages(
+        network, params, max_rounds=max_rounds,
+        fault_plan=fault_plan, retry_policy=retry_policy,
+    )
+    index_data = IndexData(
+        khop_sizes=outcome.khop_sizes,
+        centrality=outcome.centrality,
+        index=outcome.index,
+    )
+    voronoi = voronoi_from_distributed(outcome)
+    if voronoi is None:
+        result = empty_skeleton_result(network, params, index_data=index_data)
+        result.run_stats = outcome.stats
+        return result
+    coarse = build_coarse_skeleton(voronoi, index_data.index, params)
+    boundary = detect_boundary_nodes(
+        network, index_data.khop_sizes, params.boundary_threshold_factor
+    )
+    analysis = identify_loops(
+        coarse, voronoi, params,
+        boundary_nodes=boundary, index=index_data.index,
+    )
+    skeleton = refine_skeleton(coarse, analysis, voronoi, params)
+    segmentation = segmentation_from_voronoi(voronoi)
+    return SkeletonResult(
+        network=network,
+        params=params,
+        index_data=index_data,
+        critical_nodes=sorted(outcome.critical_nodes),
+        voronoi=voronoi,
+        coarse=coarse,
+        loop_analysis=analysis,
+        skeleton=skeleton,
+        segmentation=segmentation,
+        boundary_nodes=boundary,
+        run_stats=outcome.stats,
     )

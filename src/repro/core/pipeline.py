@@ -11,18 +11,61 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..network.graph import SensorNetwork
-from .byproducts import detect_boundary_nodes, segmentation_from_voronoi
-from .coarse import build_coarse_skeleton
-from .identification import find_critical_nodes
-from .loops import identify_loops
-from .neighborhood import compute_indices
-from .params import SkeletonParams
-from .refine import refine_skeleton
-from .result import SkeletonResult
-from .voronoi import build_voronoi
+import numpy as np
 
-__all__ = ["SkeletonExtractor", "extract_skeleton"]
+from ..network.graph import UNREACHED, SensorNetwork
+from .byproducts import Segmentation, detect_boundary_nodes, segmentation_from_voronoi
+from .coarse import CoarseSkeleton, build_coarse_skeleton
+from .identification import find_critical_nodes
+from .loops import LoopAnalysis, identify_loops
+from .neighborhood import IndexData, compute_indices
+from .params import SkeletonParams
+from .refine import SkeletonGraph, refine_skeleton
+from .result import SkeletonResult
+from .voronoi import VoronoiDecomposition, build_voronoi
+
+__all__ = ["SkeletonExtractor", "extract_skeleton", "empty_skeleton_result"]
+
+
+def empty_skeleton_result(network: SensorNetwork,
+                          params: SkeletonParams,
+                          index_data: Optional[IndexData] = None) -> SkeletonResult:
+    """A degenerate (but fully-formed) result for runs that yield nothing.
+
+    Covers the graceful edge cases: an empty network, and a faulty
+    distributed run in which no node survived to elect itself critical.
+    Every artifact is present and empty, so downstream consumers (metrics,
+    rendering, experiments) need no special-casing.
+    """
+    n = network.num_nodes
+    if index_data is None:
+        index_data = IndexData(khop_sizes=[0] * n, centrality=[0.0] * n,
+                               index=[0.0] * n)
+    voronoi = VoronoiDecomposition(
+        network=network,
+        sites=[],
+        dist=np.full((0, n), UNREACHED, dtype=np.int32),
+        parent=np.full((0, n), -1, dtype=np.int32),
+        records=[[] for _ in range(n)],
+        cell_of=[-1] * n,
+        segment_nodes=set(),
+        voronoi_nodes=set(),
+        pair_segments={},
+        pair_border_edges={},
+    )
+    coarse = CoarseSkeleton(network=network, nodes=set(), edges=set(), sites=[])
+    return SkeletonResult(
+        network=network,
+        params=params,
+        index_data=index_data,
+        critical_nodes=[],
+        voronoi=voronoi,
+        coarse=coarse,
+        loop_analysis=LoopAnalysis(loops=[], kept_pairs=set(), removed_pairs=set()),
+        skeleton=SkeletonGraph(nodes=set(), edges=set()),
+        segmentation=Segmentation(segments={}),
+        boundary_nodes=set(),
+    )
 
 
 class SkeletonExtractor:
@@ -41,10 +84,15 @@ class SkeletonExtractor:
         self.params = params if params is not None else SkeletonParams()
 
     def extract(self, network: SensorNetwork) -> SkeletonResult:
-        """Run all four stages and return the full result record."""
-        if network.num_nodes == 0:
-            raise ValueError("cannot extract a skeleton from an empty network")
+        """Run all four stages and return the full result record.
+
+        An empty network yields an empty-but-complete result rather than an
+        error: production pipelines feed arbitrary deployments and a
+        zero-node slice is a valid (if vacuous) input.
+        """
         params = self.params
+        if network.num_nodes == 0:
+            return empty_skeleton_result(network, params)
 
         # Stage 1 — skeleton node identification (Fig. 1b).
         index_data = compute_indices(network, params)

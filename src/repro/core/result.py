@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..network.graph import SensorNetwork
+from ..runtime.stats import RunStats
 from .byproducts import Segmentation
 from .coarse import CoarseSkeleton
 from .loops import Loop, LoopAnalysis
@@ -37,6 +38,9 @@ class SkeletonResult:
     skeleton: SkeletonGraph
     segmentation: Segmentation
     boundary_nodes: Set[int]
+    #: Message accounting of the distributed run that produced the stage
+    #: artifacts; ``None`` for centralized extractions.
+    run_stats: Optional[RunStats] = None
 
     @property
     def loops(self) -> List[Loop]:

@@ -1,6 +1,7 @@
 """Experiment runners reproducing the paper's evaluation (see DESIGN.md §4)."""
 
 from .harness import ExperimentReport, scaled_nodes
+from .faults import run_fault_degradation
 from .figures import (
     run_ablations,
     run_baseline_comparison,
@@ -27,6 +28,7 @@ ALL_RUNNERS = {
     "sec5b": run_sec5b_parameters,
     "baselines": run_baseline_comparison,
     "ablations": run_ablations,
+    "faults": run_fault_degradation,
 }
 
 __all__ = [
@@ -44,4 +46,5 @@ __all__ = [
     "run_sec5b_parameters",
     "run_baseline_comparison",
     "run_ablations",
+    "run_fault_degradation",
 ]

@@ -1,0 +1,102 @@
+"""E-FAULT — skeleton degradation under lossy delivery.
+
+The paper evaluates robustness to radio *models* (QUDG, log-normal,
+Figs. 6–7) but keeps delivery itself perfect.  This experiment completes
+the picture: the distributed stages run over the fault-injection fabric of
+:mod:`repro.runtime.faults`, sweeping the per-link drop probability with
+link-layer ack/retry on and off, and reporting where the extracted skeleton
+stops being connected and homotopic — the *failure knee*.
+
+Scale note: hole preservation needs density; below roughly half the paper's
+node counts the Window corridors leak their holes and homotopy becomes
+vacuous, so runners clamp the scale to ``MIN_FAULT_SCALE``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis import evaluate_skeleton, failure_knee, preserved_holes
+from ..core import extract_skeleton_distributed
+from ..geometry.medial_axis import approximate_medial_axis
+from ..network import get_scenario
+from ..runtime import FaultPlan, RetryPolicy
+from .harness import ExperimentReport, scaled_nodes
+
+__all__ = ["run_fault_degradation", "DEFAULT_DROP_RATES", "MIN_FAULT_SCALE"]
+
+DEFAULT_DROP_RATES = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4)
+MIN_FAULT_SCALE = 0.5
+
+
+def run_fault_degradation(scale: float = 1.0, seed: int = 1,
+                          drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+                          names: Sequence[str] = ("window", "two_holes"),
+                          max_retries: int = 3,
+                          fault_seed: int = 7,
+                          include_no_retry: bool = True) -> ExperimentReport:
+    """Sweep per-link drop probability over *names* scenarios.
+
+    One row per (scenario, retry arm, drop rate) with full message
+    accounting — broadcasts (algorithmic), retries, drops, redundant
+    deliveries — and skeleton quality.  Notes carry each arm's failure
+    knee.  Determinism: every cell is a pure function of
+    ``(seed, fault_seed, plan)``.
+    """
+    scale = max(scale, MIN_FAULT_SCALE)
+    report = ExperimentReport(
+        "E-FAULT",
+        f"skeleton degradation vs per-link drop rate "
+        f"(ack/retry, max_retries={max_retries})",
+    )
+    arms = [("retry", RetryPolicy(max_retries=max_retries))]
+    if include_no_retry:
+        arms.append(("no_retry", None))
+    knee_rows: Dict[str, List[dict]] = {arm: [] for arm, _ in arms}
+    for name in names:
+        scenario = get_scenario(name)
+        network = scenario.build(
+            seed=seed, num_nodes=scaled_nodes(scenario.num_nodes, scale)
+        )
+        medial = approximate_medial_axis(network.field)
+        holes = preserved_holes(network)
+        for arm, policy in arms:
+            for rate in drop_rates:
+                plan = FaultPlan(seed=fault_seed, drop_probability=rate)
+                result = extract_skeleton_distributed(
+                    network, fault_plan=plan, retry_policy=policy,
+                )
+                quality = evaluate_skeleton(
+                    network, result.skeleton.nodes, result.skeleton.edges,
+                    medial_axis=medial, preserved_hole_count=holes,
+                )
+                stats = result.run_stats
+                row = dict(
+                    scenario=name,
+                    arm=arm,
+                    drop_rate=rate,
+                    nodes=network.num_nodes,
+                    broadcasts=stats.broadcasts,
+                    retries=stats.retries,
+                    drops=stats.drops,
+                    redundant=stats.redundant_deliveries,
+                    critical_nodes=len(result.critical_nodes),
+                    skeleton_nodes=len(result.skeleton.nodes),
+                    connected=quality.connected,
+                    cycles=quality.cycle_count,
+                    preserved_holes=holes,
+                    homotopy_ok=quality.homotopy_ok,
+                )
+                report.add_row(**row)
+                knee_rows[arm].append(row)
+    for arm, rows in knee_rows.items():
+        for scenario_name, knee in sorted(failure_knee(rows).items()):
+            knee_txt = "none in sweep" if knee.knee_rate is None \
+                else f"{knee.knee_rate:g}"
+            ok_txt = "never" if knee.max_ok_rate is None \
+                else f"{knee.max_ok_rate:g}"
+            report.add_note(
+                f"[{arm}] {scenario_name}: correct up to drop={ok_txt}, "
+                f"knee={knee_txt}"
+            )
+    return report

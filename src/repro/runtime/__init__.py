@@ -1,11 +1,14 @@
 """Synchronous distributed-simulation runtime.
 
-A round-based message-passing simulator with broadcast accounting, plus the
-reusable flooding protocols the paper's algorithm is built from.
+A round-based message-passing simulator with broadcast accounting, the
+reusable flooding protocols the paper's algorithm is built from, and a
+deterministic fault-injection layer (message drops, link flaps, node
+crashes) with link-layer ack/retry recovery.
 """
 
 from .message import Message
 from .protocol import NodeApi, NodeProtocol
+from .faults import CrashWindow, FaultPlan, RetryPolicy
 from .scheduler import SynchronousScheduler
 from .stats import RunStats
 from .flooding import (
@@ -18,6 +21,9 @@ __all__ = [
     "Message",
     "NodeApi",
     "NodeProtocol",
+    "CrashWindow",
+    "FaultPlan",
+    "RetryPolicy",
     "SynchronousScheduler",
     "RunStats",
     "NeighborhoodGossipProtocol",

@@ -12,6 +12,13 @@ Three protocols cover the paper's communication:
   III-B: sites start BFS waves; every other node joins the first wave to
   reach it (its nearest site), records ties within the threshold α, and
   forwards at most one broadcast — O(n) messages in total.
+
+All three tolerate the faulty fabric of :mod:`repro.runtime.faults`: their
+handlers are idempotent (set/dict unions keyed by node or site id), so
+link-layer retransmissions and duplicate frames never corrupt state, and
+the Voronoi flood additionally upgrades a site record when a shorter path
+arrives late (waves may leave distance order under loss).  Per-node
+broadcast budgets (≤ k, ≤ l, ≤ 1) hold with or without faults.
 """
 
 from __future__ import annotations
@@ -170,6 +177,15 @@ class VoronoiFloodProtocol(NodeProtocol):
             self._forwarded = True
             return
         if site in self.records:
+            # Fault tolerance: lossy links can deliver waves out of distance
+            # order, so a shorter path to an already-recorded site may show
+            # up late.  Upgrading the record keeps distances (and the reverse
+            # path) honest without a second forward — the per-node one-
+            # broadcast bound of Section III-B is preserved.  On a fault-free
+            # synchronous run waves arrive in distance order and this branch
+            # never fires.
+            if my_dist < self.records[site][0]:
+                self.records[site] = (my_dist, message.sender)
             return
         if my_dist - best <= self.alpha:
             # Near-equidistant to another site: keep the record (making this

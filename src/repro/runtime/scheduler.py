@@ -6,14 +6,23 @@ roughly the same time, and the message travels at approximately the same
 speed"): computation proceeds in rounds, broadcasts queued in round *r* are
 delivered to every radio neighbour at the start of round *r+1*, and the run
 ends when the network is quiet.
+
+With a :class:`~repro.runtime.faults.FaultPlan` the delivery fabric becomes
+lossy: frames drop per link, links flap per round, and nodes crash and
+recover on schedule.  An optional :class:`~repro.runtime.faults.RetryPolicy`
+adds link-layer recovery — per-neighbour acks over the same faulty links,
+bounded retransmission, and sequence-number duplicate suppression at
+receivers.  The fault-free code path is untouched, and a fault plan whose
+probabilities are zero (and with no crashes) reproduces it bit-for-bit.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..network.graph import SensorNetwork
+from .faults import FaultPlan, RetryPolicy
 from .message import Message
 from .protocol import NodeApi, NodeProtocol
 from .stats import RunStats
@@ -23,10 +32,31 @@ __all__ = ["SynchronousScheduler"]
 ProtocolFactory = Callable[[int], NodeProtocol]
 
 
+class _Transmission:
+    """One broadcast's link-layer state: who still owes an ack, and the
+    remaining retransmission budget.
+
+    ``transmitted`` flips on the first on-air frame; that frame is counted
+    as the algorithmic broadcast, every later one as a retry.
+    """
+
+    __slots__ = ("message", "seq", "awaiting", "retries_left", "transmitted")
+
+    def __init__(self, message: Message, seq: int,
+                 awaiting: Set[int], retries_left: int):
+        self.message = message
+        self.seq = seq
+        self.awaiting = awaiting
+        self.retries_left = retries_left
+        self.transmitted = False
+
+
 class SynchronousScheduler:
     """Runs one protocol instance per node over a :class:`SensorNetwork`."""
 
-    def __init__(self, network: SensorNetwork, protocol_factory: ProtocolFactory):
+    def __init__(self, network: SensorNetwork, protocol_factory: ProtocolFactory,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.network = network
         self.protocols: List[NodeProtocol] = [
             protocol_factory(node) for node in network.nodes()
@@ -37,8 +67,14 @@ class SynchronousScheduler:
         ]
         self.round = 0
         self.stats = RunStats()
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         self._outbox: List[Message] = []
         self._started = False
+        # Link-layer state (fault path only).
+        self._next_seq = 0
+        self._retry_queue: List[_Transmission] = []
+        self._seen_seqs: List[Set[int]] = [set() for _ in network.nodes()]
 
     # -- API used by NodeApi ------------------------------------------------
 
@@ -54,16 +90,31 @@ class SynchronousScheduler:
             self.protocols[node].on_start(self.apis[node])
         self._started = True
 
+    def _any_active(self) -> bool:
+        if self.fault_plan is None:
+            return any(p.is_active() for p in self.protocols)
+        # A node that crashed for good can never act again; ignoring it is
+        # what lets runs with permanent crashes quiesce instead of spinning
+        # until max_rounds.
+        return any(
+            p.is_active()
+            and not self.fault_plan.node_permanently_down(p.node_id, self.round)
+            for p in self.protocols
+        )
+
     def step(self) -> bool:
         """Execute one round; returns False when the network is quiet.
 
-        A round delivers every broadcast queued in the previous round,
-        invokes message handlers, then round-end hooks.
+        A round delivers every broadcast queued in the previous round (plus
+        any pending retransmissions), invokes message handlers, then
+        round-end hooks.
         """
         if not self._started:
             self._start()
+        if self.fault_plan is not None:
+            return self._step_faulty()
         in_flight = self._outbox
-        if not in_flight and not any(p.is_active() for p in self.protocols):
+        if not in_flight and not self._any_active():
             return False
         self._outbox = []
         self.stats.start_round()
@@ -82,6 +133,87 @@ class SynchronousScheduler:
                 protocol.on_message(msg, api)
         for node in self.network.nodes():
             self.protocols[node].on_round_end(self.apis[node])
+        return True
+
+    def _step_faulty(self) -> bool:
+        """One round over the faulty fabric (drops, flaps, crashes, ARQ)."""
+        plan = self.fault_plan
+        policy = self.retry_policy
+        new_msgs = self._outbox
+        if not new_msgs and not self._retry_queue and not self._any_active():
+            return False
+        self._outbox = []
+        self.stats.start_round()
+        self.round += 1
+        rnd = self.round
+
+        # Pending retransmissions go on air before this round's new frames:
+        # they carry older data, matching FIFO link behaviour.
+        transmissions: List[_Transmission] = list(self._retry_queue)
+        self._retry_queue = []
+        for msg in new_msgs:
+            awaiting = (
+                set(self.network.neighbors(msg.sender))
+                if policy is not None else set()
+            )
+            transmissions.append(
+                _Transmission(msg, self._next_seq, awaiting,
+                              policy.max_retries if policy is not None else 0)
+            )
+            self._next_seq += 1
+
+        inboxes: Dict[int, List[Message]] = defaultdict(list)
+        for t in transmissions:
+            sender = t.message.sender
+            if not plan.node_up(sender, rnd):
+                # The frame sits in the crashed sender's queue; trying again
+                # after recovery costs retry budget like any retransmission.
+                if t.retries_left > 0:
+                    t.retries_left -= 1
+                    self._retry_queue.append(t)
+                else:
+                    self.stats.record_drop(len(self.network.neighbors(sender)))
+                continue
+            delivered = 0
+            for v in self.network.neighbors(sender):
+                if (
+                    not plan.node_up(v, rnd)
+                    or not plan.link_up(sender, v, rnd)
+                    or not plan.delivers(sender, v, rnd, t.seq)
+                ):
+                    self.stats.record_drop()
+                    continue
+                delivered += 1
+                if policy is not None:
+                    if t.seq in self._seen_seqs[v]:
+                        self.stats.record_redundant()
+                    else:
+                        self._seen_seqs[v].add(t.seq)
+                        inboxes[v].append(t.message)
+                    if v in t.awaiting:
+                        if plan.ack_delivers(v, sender, rnd, t.seq):
+                            t.awaiting.discard(v)
+                        else:
+                            self.stats.record_ack_drop()
+                else:
+                    inboxes[v].append(t.message)
+            if t.transmitted:
+                self.stats.record_retry(sender, delivered)
+            else:
+                self.stats.record_broadcast(sender, delivered)
+                t.transmitted = True
+            if policy is not None and t.awaiting and t.retries_left > 0:
+                t.retries_left -= 1
+                self._retry_queue.append(t)
+
+        for node, messages in inboxes.items():
+            api = self.apis[node]
+            protocol = self.protocols[node]
+            for msg in messages:
+                protocol.on_message(msg, api)
+        for node in self.network.nodes():
+            if plan.node_up(node, rnd):
+                self.protocols[node].on_round_end(self.apis[node])
         return True
 
     def run(self, max_rounds: int = 100_000) -> RunStats:

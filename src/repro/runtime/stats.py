@@ -5,6 +5,12 @@ counters are what the complexity benchmarks measure.  Following the paper's
 convention for wireless broadcast media, one *message* is one broadcast
 transmission (every neighbour hears it); *receptions* counts the per-link
 deliveries separately.
+
+Under fault injection the accounting splits algorithmic from recovery
+traffic: ``broadcasts`` stays the protocol's own transmission count (the
+Theorem 5 quantity), while ``retries`` counts link-layer retransmissions,
+``drops`` lost delivery attempts, ``acks_dropped`` lost acknowledgements
+and ``redundant_deliveries`` duplicate frames suppressed at the receiver.
 """
 
 from __future__ import annotations
@@ -22,6 +28,10 @@ class RunStats:
     broadcasts: int = 0
     receptions: int = 0
     rounds: int = 0
+    retries: int = 0
+    drops: int = 0
+    acks_dropped: int = 0
+    redundant_deliveries: int = 0
     broadcasts_per_round: List[int] = field(default_factory=list)
     broadcasts_per_node: Dict[int, int] = field(default_factory=dict)
 
@@ -32,6 +42,27 @@ class RunStats:
         self.broadcasts_per_node[sender] = self.broadcasts_per_node.get(sender, 0) + 1
         if self.broadcasts_per_round:
             self.broadcasts_per_round[-1] += 1
+
+    def record_retry(self, sender: int, fanout: int) -> None:
+        """Record one link-layer retransmission heard by *fanout* neighbours.
+
+        Recovery traffic: counted apart from the algorithmic ``broadcasts``
+        so the Theorem 5 bounds stay measurable under faults.
+        """
+        self.retries += 1
+        self.receptions += fanout
+
+    def record_drop(self, count: int = 1) -> None:
+        """Record *count* lost link-level delivery attempts."""
+        self.drops += count
+
+    def record_ack_drop(self, count: int = 1) -> None:
+        """Record *count* lost acknowledgements."""
+        self.acks_dropped += count
+
+    def record_redundant(self, count: int = 1) -> None:
+        """Record *count* duplicate frames suppressed at receivers."""
+        self.redundant_deliveries += count
 
     def start_round(self) -> None:
         self.rounds += 1
@@ -48,6 +79,12 @@ class RunStats:
             broadcasts=self.broadcasts + other.broadcasts,
             receptions=self.receptions + other.receptions,
             rounds=self.rounds + other.rounds,
+            retries=self.retries + other.retries,
+            drops=self.drops + other.drops,
+            acks_dropped=self.acks_dropped + other.acks_dropped,
+            redundant_deliveries=(
+                self.redundant_deliveries + other.redundant_deliveries
+            ),
             broadcasts_per_round=self.broadcasts_per_round + other.broadcasts_per_round,
         )
         merged.broadcasts_per_node = dict(self.broadcasts_per_node)
@@ -56,7 +93,14 @@ class RunStats:
         return merged
 
     def summary(self) -> str:
-        return (
+        base = (
             f"rounds={self.rounds} broadcasts={self.broadcasts} "
             f"receptions={self.receptions} max_node_broadcasts={self.max_node_broadcasts}"
         )
+        if self.retries or self.drops or self.acks_dropped or self.redundant_deliveries:
+            base += (
+                f" retries={self.retries} drops={self.drops} "
+                f"acks_dropped={self.acks_dropped} "
+                f"redundant={self.redundant_deliveries}"
+            )
+        return base

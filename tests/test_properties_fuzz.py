@@ -1,0 +1,120 @@
+"""Property-based correctness harness over random deployments (hypothesis).
+
+Three invariant families, each fuzzed across random UDG/QUDG deployments
+rather than a handful of fixed seeds:
+
+* **Theorem 4** — every Voronoi cell induces a connected subgraph, for any
+  site set, on any connected deployment;
+* **backend equivalence** — the vectorized CSR traversal backend is
+  bit-identical to the pure-Python reference on every stage-1/-2 artifact;
+* **distributed equivalence** — the message-passing protocols over a
+  zero-drop fault fabric elect exactly the centralized critical nodes.
+
+Networks are kept small (≤ ~140 nodes) so each example stays fast; the
+fixed-seed equivalence suite (``test_traversal_engine``) covers the large
+dense regime.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SkeletonParams, run_distributed_stages
+from repro.core.identification import find_critical_nodes
+from repro.core.neighborhood import compute_indices
+from repro.core.voronoi import build_voronoi
+from repro.geometry import make_field
+from repro.network import QuasiUnitDiskRadio, UnitDiskRadio, build_network
+from repro.network.deployment import uniform_deployment
+from repro.runtime import FaultPlan, RetryPolicy
+
+SHAPES = ("rectangle", "annulus", "cross")
+
+deployment_seeds = st.integers(min_value=0, max_value=10_000)
+shapes = st.sampled_from(SHAPES)
+qudg = st.booleans()
+
+
+def fuzz_network(shape, seed, use_qudg, n=120, radio_range=5.0):
+    """A random connected deployment (largest component of a random drop)."""
+    field = make_field(shape)
+    rng = random.Random(seed)
+    positions = uniform_deployment(field, n, rng=rng)
+    radio = (
+        QuasiUnitDiskRadio(radio_range, alpha=0.4, p=0.3)
+        if use_qudg else UnitDiskRadio(radio_range)
+    )
+    network = build_network(positions, radio=radio, field=field, rng=rng)
+    return network.largest_component_subgraph()
+
+
+class TestTheorem4:
+    @given(shapes, deployment_seeds, qudg)
+    @settings(max_examples=15, deadline=None)
+    def test_cells_are_connected(self, shape, seed, use_qudg):
+        network = fuzz_network(shape, seed, use_qudg)
+        params = SkeletonParams()
+        data = compute_indices(network, params)
+        sites = find_critical_nodes(network, data, params)
+        if not sites:
+            # Degenerate deployments may elect nobody; Theorem 4 holds for
+            # *any* site set, so exercise it with an arbitrary spread.
+            sites = sorted(set(range(0, network.num_nodes, 17)))
+        voronoi = build_voronoi(network, sites, params)
+        assert voronoi.cells_are_connected()
+
+    @given(deployment_seeds, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_cells_connected_for_arbitrary_sites(self, seed, stride):
+        # Sites need not be critical nodes for the theorem to hold.
+        network = fuzz_network("rectangle", seed, use_qudg=False, n=90)
+        sites = sorted(set(range(0, network.num_nodes, stride * 7)))
+        voronoi = build_voronoi(network, sites, SkeletonParams())
+        assert voronoi.cells_are_connected()
+
+
+class TestBackendEquivalence:
+    @given(shapes, deployment_seeds, qudg)
+    @settings(max_examples=15, deadline=None)
+    def test_stage_artifacts_bit_identical(self, shape, seed, use_qudg):
+        network = fuzz_network(shape, seed, use_qudg)
+        reference = SkeletonParams(backend="reference")
+        vectorized = SkeletonParams(backend="vectorized")
+        data_ref = compute_indices(network, reference)
+        data_vec = compute_indices(network, vectorized)
+        assert data_ref.khop_sizes == data_vec.khop_sizes
+        assert data_ref.centrality == data_vec.centrality
+        assert data_ref.index == data_vec.index
+
+        crit_ref = find_critical_nodes(network, data_ref, reference)
+        crit_vec = find_critical_nodes(network, data_vec, vectorized)
+        assert crit_ref == crit_vec
+        if not crit_ref:
+            return
+        vor_ref = build_voronoi(network, crit_ref, reference)
+        vor_vec = build_voronoi(network, crit_vec, vectorized)
+        assert (vor_ref.dist == vor_vec.dist).all()
+        assert vor_ref.cell_of == vor_vec.cell_of
+        assert vor_ref.segment_nodes == vor_vec.segment_nodes
+        assert vor_ref.pair_segments == vor_vec.pair_segments
+
+
+class TestDistributedEquivalence:
+    @given(shapes, deployment_seeds, st.integers(min_value=0, max_value=999))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_drop_matches_centralized(self, shape, seed, fault_seed):
+        network = fuzz_network(shape, seed, use_qudg=False)
+        params = SkeletonParams()
+        data = compute_indices(network, params)
+        centralized = find_critical_nodes(network, data, params)
+        outcome = run_distributed_stages(
+            network, params,
+            fault_plan=FaultPlan(seed=fault_seed, drop_probability=0.0),
+            retry_policy=RetryPolicy(max_retries=3),
+        )
+        assert outcome.khop_sizes == data.khop_sizes
+        assert outcome.index == data.index
+        assert outcome.critical_nodes == centralized
+        assert outcome.stats.retries == 0
+        assert outcome.stats.drops == 0

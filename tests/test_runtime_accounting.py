@@ -1,0 +1,112 @@
+"""Message accounting under faults: Theorem 5 bounds survive recovery traffic.
+
+The Theorem 5 quantities (per-node broadcast budgets of ≤ k, ≤ l and ≤ 1,
+the (k + l + local_max_hops + 1)·n total, and the linear slope in n) are
+*algorithmic* bounds — retransmissions are recovery traffic, accounted
+separately in ``RunStats.retries``.  These tests pin that split: the
+algorithmic counters respect the paper's bounds with and without a lossy
+fabric, and total on-air frames stay within the retry-budget envelope.
+"""
+
+import pytest
+
+from repro.core import SkeletonParams, run_distributed_stages
+from repro.runtime import (
+    FaultPlan,
+    NeighborhoodGossipProtocol,
+    RetryPolicy,
+    SynchronousScheduler,
+    ValueGossipProtocol,
+    VoronoiFloodProtocol,
+)
+from tests.conftest import build_test_network
+
+FAULTY = FaultPlan(seed=23, drop_probability=0.15)
+RETRIES = RetryPolicy(max_retries=3)
+
+FABRICS = [
+    pytest.param(None, None, id="fault-free"),
+    pytest.param(FAULTY, None, id="lossy-bare"),
+    pytest.param(FAULTY, RETRIES, id="lossy-arq"),
+]
+
+
+@pytest.mark.parametrize("plan,policy", FABRICS)
+class TestPerNodeBudgets:
+    def test_neighborhood_gossip_at_most_k(self, rectangle_network, plan, policy):
+        k = 3
+        stats = SynchronousScheduler(
+            rectangle_network, lambda v: NeighborhoodGossipProtocol(v, k=k),
+            fault_plan=plan, retry_policy=policy,
+        ).run()
+        assert stats.max_node_broadcasts <= k
+        assert stats.broadcasts <= k * rectangle_network.num_nodes
+
+    def test_value_gossip_at_most_l(self, rectangle_network, plan, policy):
+        l = 4
+        stats = SynchronousScheduler(
+            rectangle_network, lambda v: ValueGossipProtocol(v, l=l, value=v),
+            fault_plan=plan, retry_policy=policy,
+        ).run()
+        assert stats.max_node_broadcasts <= l
+        assert stats.broadcasts <= l * rectangle_network.num_nodes
+
+    def test_voronoi_flood_at_most_one(self, rectangle_network, plan, policy):
+        sites = {0, 50, 100}
+        stats = SynchronousScheduler(
+            rectangle_network,
+            lambda v: VoronoiFloodProtocol(v, is_site=v in sites, alpha=1),
+            fault_plan=plan, retry_policy=policy,
+        ).run()
+        assert stats.max_node_broadcasts <= 1
+        assert stats.broadcasts <= rectangle_network.num_nodes
+
+
+@pytest.mark.parametrize("plan,policy", FABRICS)
+class TestPipelineBudget:
+    def test_total_message_bound(self, rectangle_network, plan, policy):
+        params = SkeletonParams()
+        outcome = run_distributed_stages(
+            rectangle_network, params, fault_plan=plan, retry_policy=policy,
+        )
+        per_node = params.k + params.l + params.local_max_hops + 1
+        assert outcome.stats.broadcasts <= per_node * rectangle_network.num_nodes
+        assert outcome.stats.max_node_broadcasts <= per_node
+
+    def test_retry_envelope(self, rectangle_network, plan, policy):
+        outcome = run_distributed_stages(
+            rectangle_network, fault_plan=plan, retry_policy=policy,
+        )
+        stats = outcome.stats
+        if policy is None:
+            assert stats.retries == 0
+        else:
+            # Total on-air frames = broadcasts + retries, and each broadcast
+            # retransmits at most max_retries times.
+            assert stats.retries <= policy.max_retries * stats.broadcasts
+
+
+class TestLinearSlope:
+    @pytest.mark.parametrize("plan,policy", FABRICS)
+    def test_messages_per_node_flat_as_n_doubles(self, plan, policy):
+        ratios = []
+        for n in (200, 400):
+            network = build_test_network("rectangle", n, 6.0, seed=9)
+            outcome = run_distributed_stages(
+                network, fault_plan=plan, retry_policy=policy,
+            )
+            ratios.append(outcome.stats.broadcasts / network.num_nodes)
+        # The algorithmic slope is O((k+l+1)·n): per-node broadcasts stay
+        # flat as n doubles, faults or not.
+        assert ratios[1] == pytest.approx(ratios[0], rel=0.1)
+
+    def test_recovery_traffic_scales_with_drop_rate(self, rectangle_network):
+        totals = []
+        for rate in (0.05, 0.2):
+            outcome = run_distributed_stages(
+                rectangle_network,
+                fault_plan=FaultPlan(seed=31, drop_probability=rate),
+                retry_policy=RETRIES,
+            )
+            totals.append(outcome.stats.retries)
+        assert totals[1] > totals[0] > 0

@@ -1,0 +1,229 @@
+"""Fault-injection runtime: determinism, recovery, crash semantics, accounting."""
+
+import pytest
+
+from repro.core import SkeletonParams, run_distributed_stages
+from repro.geometry.primitives import Point
+from repro.network import UnitDiskRadio, build_network
+from repro.runtime import (
+    CrashWindow,
+    FaultPlan,
+    NeighborhoodGossipProtocol,
+    RetryPolicy,
+    SynchronousScheduler,
+    VoronoiFloodProtocol,
+)
+
+
+def chain(n):
+    positions = [Point(float(i), 0.0) for i in range(n)]
+    return build_network(positions, radio=UnitDiskRadio(1.1))
+
+
+def gossip_run(network, k=3, plan=None, policy=None):
+    sched = SynchronousScheduler(
+        network, lambda v: NeighborhoodGossipProtocol(v, k=k),
+        fault_plan=plan, retry_policy=policy,
+    )
+    stats = sched.run()
+    return [frozenset(p.known) for p in sched.protocols], stats
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(drop_probability=-0.1),
+        dict(drop_probability=1.0),
+        dict(flap_probability=-0.1),
+        dict(flap_probability=1.0),
+    ])
+    def test_probabilities_must_be_in_range(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_crash_window_end_after_start(self):
+        with pytest.raises(ValueError):
+            CrashWindow(start=5, end=5)
+        with pytest.raises(ValueError):
+            CrashWindow(start=-1)
+
+    def test_retry_budget_nonnegative(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+    def test_crash_window_coverage(self):
+        w = CrashWindow(start=2, end=4)
+        assert [w.covers(r) for r in (1, 2, 3, 4)] == [False, True, True, False]
+        assert not w.is_permanent
+        assert CrashWindow(start=2).is_permanent
+
+    def test_null_plan_detection(self):
+        assert FaultPlan().is_null
+        assert not FaultPlan(drop_probability=0.1).is_null
+        assert not FaultPlan(crashes={0: CrashWindow(start=1)}).is_null
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self, rectangle_network):
+        plan = FaultPlan(seed=11, drop_probability=0.2)
+        policy = RetryPolicy(max_retries=2)
+        known_a, stats_a = gossip_run(rectangle_network, plan=plan, policy=policy)
+        known_b, stats_b = gossip_run(rectangle_network, plan=plan, policy=policy)
+        assert known_a == known_b
+        assert stats_a.summary() == stats_b.summary()
+
+    def test_different_seed_different_faults(self, rectangle_network):
+        a = FaultPlan(seed=1, drop_probability=0.2)
+        b = FaultPlan(seed=2, drop_probability=0.2)
+        _, stats_a = gossip_run(rectangle_network, plan=a)
+        _, stats_b = gossip_run(rectangle_network, plan=b)
+        assert stats_a.drops != stats_b.drops
+
+    def test_fault_predicates_are_pure(self):
+        plan = FaultPlan(seed=3, drop_probability=0.5, flap_probability=0.5)
+        draws = [plan.delivers(1, 2, 7, 42) for _ in range(5)]
+        assert len(set(draws)) == 1
+        flaps = [plan.link_up(4, 9, 3) for _ in range(5)]
+        assert len(set(flaps)) == 1
+        # Symmetric link: both directions flap together.
+        assert plan.link_up(4, 9, 3) == plan.link_up(9, 4, 3)
+
+    def test_channels_are_decorrelated(self):
+        # Data and ack draws with identical coordinates must differ for
+        # some coordinate, or a lost frame would imply a lost ack.
+        plan = FaultPlan(seed=5, drop_probability=0.5)
+        differs = any(
+            plan.delivers(a, b, r, s) != plan.ack_delivers(a, b, r, s)
+            for a in range(4) for b in range(4) for r in range(4)
+            for s in range(4)
+        )
+        assert differs
+
+
+class TestZeroDropIdentity:
+    def test_gossip_bit_identical(self, rectangle_network):
+        known_plain, stats_plain = gossip_run(rectangle_network)
+        plan = FaultPlan(seed=99, drop_probability=0.0)
+        known_fault, stats_fault = gossip_run(
+            rectangle_network, plan=plan, policy=RetryPolicy(max_retries=3)
+        )
+        assert known_plain == known_fault
+        assert stats_fault.retries == 0
+        assert stats_fault.drops == 0
+        assert stats_fault.redundant_deliveries == 0
+        assert stats_plain.broadcasts == stats_fault.broadcasts
+        assert stats_plain.receptions == stats_fault.receptions
+        assert stats_plain.rounds == stats_fault.rounds
+        assert stats_plain.broadcasts_per_node == stats_fault.broadcasts_per_node
+        assert stats_plain.broadcasts_per_round == stats_fault.broadcasts_per_round
+
+    def test_distributed_stages_bit_identical(self, rectangle_network):
+        plain = run_distributed_stages(rectangle_network)
+        faulty = run_distributed_stages(
+            rectangle_network,
+            fault_plan=FaultPlan(seed=7, drop_probability=0.0),
+            retry_policy=RetryPolicy(max_retries=3),
+        )
+        assert plain.khop_sizes == faulty.khop_sizes
+        assert plain.index == faulty.index
+        assert plain.critical_nodes == faulty.critical_nodes
+        assert plain.site_records == faulty.site_records
+        assert plain.stats.broadcasts == faulty.stats.broadcasts
+        assert plain.stats.rounds == faulty.stats.rounds
+        assert faulty.stats.retries == 0
+
+
+class TestRetryRecovery:
+    def test_retries_recover_lost_gossip(self):
+        net = chain(12)
+        plan = FaultPlan(seed=2, drop_probability=0.3)
+        bare, bare_stats = gossip_run(net, k=11, plan=plan)
+        recovered, stats = gossip_run(
+            net, k=11, plan=plan, policy=RetryPolicy(max_retries=8)
+        )
+        complete = frozenset(range(12))
+        assert bare_stats.drops > 0
+        # With a generous retry budget (residual per-frame loss 0.3^9 ~ 2e-5)
+        # the chain gossip completes even at 30% loss; without it, at least
+        # one node misses part of the chain.
+        assert all(known == complete for known in recovered)
+        assert any(known != complete for known in bare)
+        assert stats.retries > 0
+
+    def test_retry_budget_bound(self, rectangle_network):
+        policy = RetryPolicy(max_retries=3)
+        plan = FaultPlan(seed=4, drop_probability=0.3)
+        _, stats = gossip_run(rectangle_network, plan=plan, policy=policy)
+        assert 0 < stats.retries <= policy.max_retries * stats.broadcasts
+
+    def test_zero_budget_keeps_dedup_but_never_retransmits(self):
+        net = chain(6)
+        plan = FaultPlan(seed=8, drop_probability=0.3)
+        _, stats = gossip_run(net, k=5, plan=plan, policy=RetryPolicy(max_retries=0))
+        assert stats.retries == 0
+
+    def test_ack_loss_causes_redundant_deliveries(self, rectangle_network):
+        # A delivered frame whose ack is lost gets retransmitted; the
+        # receiver suppresses the duplicate and counts it.
+        plan = FaultPlan(seed=6, drop_probability=0.3)
+        _, stats = gossip_run(
+            rectangle_network, plan=plan, policy=RetryPolicy(max_retries=3)
+        )
+        assert stats.acks_dropped > 0
+        assert stats.redundant_deliveries > 0
+
+
+class TestCrashes:
+    def test_permanent_crash_quiesces(self):
+        net = chain(5)
+        plan = FaultPlan(crashes={2: CrashWindow(start=0)})
+        known, stats = gossip_run(net, k=4, plan=plan)
+        # The dead middle node partitions the chain: information never
+        # crosses it, and the run still terminates.
+        assert 4 not in known[0]
+        assert 0 not in known[4]
+        assert stats.rounds < 50
+
+    def test_crash_recovery_resumes_with_state(self):
+        net = chain(5)
+        plan = FaultPlan(crashes={2: CrashWindow(start=1, end=3)})
+        # The gossip wave is event-driven, so frames that arrived while the
+        # node was down are gone without ARQ; with retries outlasting the
+        # outage, the recovered node catches up and the exchange completes.
+        known, _ = gossip_run(net, k=4, plan=plan, policy=RetryPolicy(max_retries=4))
+        assert all(k == frozenset(range(5)) for k in known)
+
+    def test_crashed_node_does_not_transmit_or_receive(self):
+        net = chain(3)
+        plan = FaultPlan(crashes={1: CrashWindow(start=0)})
+        sched = SynchronousScheduler(
+            net, lambda v: VoronoiFloodProtocol(v, is_site=(v == 0), alpha=1),
+            fault_plan=plan,
+        )
+        sched.run()
+        assert sched.protocols[1].recorded_sites == {}
+        # The wave cannot route around the dead relay on a chain.
+        assert 0 not in sched.protocols[2].recorded_sites
+
+    def test_distributed_run_with_crash_quiesces(self, rectangle_network):
+        plan = FaultPlan(crashes={0: CrashWindow(start=0)})
+        outcome = run_distributed_stages(rectangle_network, fault_plan=plan)
+        assert outcome.stats.rounds < rectangle_network.num_nodes
+
+    def test_all_nodes_crashed_yields_empty_outcome(self):
+        net = chain(4)
+        plan = FaultPlan(crashes={v: CrashWindow(start=0) for v in range(4)})
+        outcome = run_distributed_stages(net, SkeletonParams(k=1, l=1), fault_plan=plan)
+        assert outcome.critical_nodes == []
+        assert outcome.stats.broadcasts == 0
+
+
+class TestFlaps:
+    def test_flapping_links_drop_whole_round(self):
+        net = chain(8)
+        plan = FaultPlan(seed=13, flap_probability=0.4)
+        bare, stats = gossip_run(net, k=7, plan=plan)
+        assert stats.drops > 0
+        recovered, _ = gossip_run(
+            net, k=7, plan=plan, policy=RetryPolicy(max_retries=6)
+        )
+        assert all(k == frozenset(range(8)) for k in recovered)
