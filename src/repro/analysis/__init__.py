@@ -8,7 +8,7 @@ from .metrics import (
     preserved_holes,
 )
 from .degradation import DegradationKnee, failure_knee
-from .stability import StabilityScore, skeleton_stability
+from .stability import StabilityScore, skeleton_stability, stability_curve
 from .complexity import PowerLawFit, fit_power_law, messages_per_node
 from .comparison import ComparisonRow, compare_extractors
 
@@ -22,6 +22,7 @@ __all__ = [
     "failure_knee",
     "StabilityScore",
     "skeleton_stability",
+    "stability_curve",
     "PowerLawFit",
     "fit_power_law",
     "messages_per_node",

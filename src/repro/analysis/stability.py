@@ -9,7 +9,7 @@ node positions of two runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -17,7 +17,7 @@ from scipy.spatial import cKDTree
 from ..geometry.primitives import Point
 from ..network.graph import SensorNetwork
 
-__all__ = ["StabilityScore", "skeleton_stability"]
+__all__ = ["StabilityScore", "skeleton_stability", "stability_curve"]
 
 
 @dataclass(frozen=True)
@@ -57,3 +57,24 @@ def skeleton_stability(network_a: SensorNetwork, nodes_a: Iterable[int],
     mean = (float(np.mean(d_ab)) + float(np.mean(d_ba))) / 2.0
     hausdorff = max(float(np.max(d_ab)), float(np.max(d_ba)))
     return StabilityScore(mean_distance=mean, hausdorff=hausdorff)
+
+
+def stability_curve(rows: Sequence[Mapping[str, object]],
+                    rate_key: str = "jitter",
+                    value_key: str = "stability_mean",
+                    scenario_key: str = "scenario",
+                    ) -> Dict[str, List[Tuple[float, float]]]:
+    """Aggregate a degradation sweep into per-scenario stability curves.
+
+    *rows* holds one mapping per (scenario, rate) — e.g. the E-ASYNC
+    jitter sweep — with a perturbation magnitude under *rate_key* and a
+    stability distance under *value_key*.  Returns ``scenario -> [(rate,
+    value), ...]`` sorted by rate, the "skeleton drift vs perturbation"
+    curve whose flat prefix and rise locate the degradation knee.
+    """
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        curves.setdefault(str(row[scenario_key]), []).append(
+            (float(row[rate_key]), float(row[value_key]))  # type: ignore[arg-type]
+        )
+    return {name: sorted(points) for name, points in curves.items()}

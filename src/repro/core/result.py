@@ -21,7 +21,21 @@ from .params import SkeletonParams
 from .refine import SkeletonGraph
 from .voronoi import VoronoiDecomposition
 
-__all__ = ["SkeletonResult"]
+__all__ = ["ComponentResult", "SkeletonResult"]
+
+
+@dataclass
+class ComponentResult:
+    """Partial extraction over one surviving fragment of a partitioned
+    network.
+
+    ``nodes`` lists the fragment's members by *original* id, sorted; the
+    wrapped result lives on the compacted induced subgraph, so its node
+    ``i`` is original node ``nodes[i]``.
+    """
+
+    nodes: List[int]
+    result: "SkeletonResult"
 
 
 @dataclass
@@ -41,6 +55,14 @@ class SkeletonResult:
     #: Message accounting of the distributed run that produced the stage
     #: artifacts; ``None`` for centralized extractions.
     run_stats: Optional[RunStats] = None
+    #: True when permanent crashes partitioned the surviving network: the
+    #: top-level artifacts then describe the whole degraded deployment, and
+    #: each surviving fragment's self-contained partial extraction is in
+    #: :attr:`component_results`.
+    partitioned: bool = False
+    #: One :class:`ComponentResult` per surviving fragment (largest first),
+    #: present only when :attr:`partitioned` is True.
+    component_results: Optional[List[ComponentResult]] = None
 
     @property
     def loops(self) -> List[Loop]:

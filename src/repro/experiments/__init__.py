@@ -2,6 +2,7 @@
 
 from .harness import ExperimentReport, scaled_nodes
 from .faults import run_fault_degradation
+from .async_jitter import run_async_jitter
 from .figures import (
     run_ablations,
     run_baseline_comparison,
@@ -29,6 +30,7 @@ ALL_RUNNERS = {
     "baselines": run_baseline_comparison,
     "ablations": run_ablations,
     "faults": run_fault_degradation,
+    "async": run_async_jitter,
 }
 
 __all__ = [
@@ -47,4 +49,5 @@ __all__ = [
     "run_baseline_comparison",
     "run_ablations",
     "run_fault_degradation",
+    "run_async_jitter",
 ]

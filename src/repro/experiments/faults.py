@@ -63,8 +63,13 @@ def run_fault_degradation(scale: float = 1.0, seed: int = 1,
         for arm, policy in arms:
             for rate in drop_rates:
                 plan = FaultPlan(seed=fault_seed, drop_probability=rate)
+                # At brutal drop rates a phase can starve without ever
+                # completing; return the partial extraction and let the
+                # quality metrics record the degradation instead of
+                # aborting the sweep.
                 result = extract_skeleton_distributed(
                     network, fault_plan=plan, retry_policy=policy,
+                    deadline_action="return_partial",
                 )
                 quality = evaluate_skeleton(
                     network, result.skeleton.nodes, result.skeleton.edges,
@@ -80,6 +85,7 @@ def run_fault_degradation(scale: float = 1.0, seed: int = 1,
                     retries=stats.retries,
                     drops=stats.drops,
                     redundant=stats.redundant_deliveries,
+                    quiesced=stats.quiesced,
                     critical_nodes=len(result.critical_nodes),
                     skeleton_nodes=len(result.skeleton.nodes),
                     connected=quality.connected,

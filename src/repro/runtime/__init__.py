@@ -1,6 +1,9 @@
-"""Synchronous distributed-simulation runtime.
+"""Distributed-simulation runtimes.
 
-A round-based message-passing simulator with broadcast accounting, the
+Two schedulers over the same per-node protocol abstraction: a round-based
+synchronous simulator and an event-driven asynchronous one (priority-queue
+event loop, per-link latency models, adaptive timers, deficit-counting
+convergence detection).  Shared across both: broadcast accounting, the
 reusable flooding protocols the paper's algorithm is built from, and a
 deterministic fault-injection layer (message drops, link flaps, node
 crashes) with link-layer ack/retry recovery.
@@ -9,8 +12,15 @@ crashes) with link-layer ack/retry recovery.
 from .message import Message
 from .protocol import NodeApi, NodeProtocol
 from .faults import CrashWindow, FaultPlan, RetryPolicy
-from .scheduler import SynchronousScheduler
-from .stats import RunStats
+from .latency import LatencyModel
+from .scheduler import SeqWindow, SynchronousScheduler
+from .async_scheduler import (
+    AsyncNodeApi,
+    AsyncProfile,
+    AsyncScheduler,
+    live_components,
+)
+from .stats import ConvergenceReport, RunStats
 from .flooding import (
     NeighborhoodGossipProtocol,
     ValueGossipProtocol,
@@ -24,7 +34,14 @@ __all__ = [
     "CrashWindow",
     "FaultPlan",
     "RetryPolicy",
+    "LatencyModel",
+    "SeqWindow",
     "SynchronousScheduler",
+    "AsyncNodeApi",
+    "AsyncProfile",
+    "AsyncScheduler",
+    "live_components",
+    "ConvergenceReport",
     "RunStats",
     "NeighborhoodGossipProtocol",
     "ValueGossipProtocol",

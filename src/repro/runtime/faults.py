@@ -158,10 +158,33 @@ class RetryPolicy:
     frame, counted in :attr:`RunStats.retries` (never in the algorithmic
     ``broadcasts``).  ``max_retries = 0`` keeps acks and duplicate
     suppression but never retransmits.
+
+    Attributes:
+        max_retries: retransmission budget per broadcast.
+        dedup_window: receiver-side duplicate suppression keeps at most this
+            many sequence numbers per node (a sliding window over the
+            highest seq seen); older entries are evicted and counted in
+            :attr:`RunStats.seen_evictions`.  Retransmissions arrive within
+            ``max_retries`` rounds of the original, far inside the window,
+            so eviction never reopens a realistic duplicate — it just
+            bounds a previously unbounded per-node set.
+        rto: event-driven runtime only — retransmission timeout of the
+            first retry, in units of the latency model's base delay.
+        rto_backoff: multiplier applied to the timeout after every retry
+            (exponential backoff; 1.0 = fixed interval).
     """
 
     max_retries: int = 3
+    dedup_window: int = 4096
+    rto: float = 2.0
+    rto_backoff: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.dedup_window < 1:
+            raise ValueError("dedup_window must be >= 1")
+        if self.rto <= 0:
+            raise ValueError("rto must be positive")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be >= 1")

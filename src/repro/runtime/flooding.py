@@ -16,14 +16,26 @@ Three protocols cover the paper's communication:
 All three tolerate the faulty fabric of :mod:`repro.runtime.faults`: their
 handlers are idempotent (set/dict unions keyed by node or site id), so
 link-layer retransmissions and duplicate frames never corrupt state, and
-the Voronoi flood additionally upgrades a site record when a shorter path
-arrives late (waves may leave distance order under loss).  Per-node
-broadcast budgets (≤ k, ≤ l, ≤ 1) hold with or without faults.
+records upgrade monotonically when frames arrive out of distance order.
+
+All three are additionally *dual-mode*: under the event-driven runtime
+(:class:`~repro.runtime.async_scheduler.AsyncScheduler`) no global round
+exists, so the gossip protocols switch from round-counted set exchange to
+hop-TTL entries — each forwarded item carries its hop distance from its
+origin and is re-forwarded only while that distance is below the budget
+(k or l).  The TTL reproduces the synchronous reach *exactly* (a round-
+counted wave also dies at hop k) without referencing any clock, which is
+what makes the zero-jitter event-driven run result-identical to the
+synchronous one.  When jitter reorders frames, a shorter path arriving
+late upgrades the local record and triggers a downstream **correction
+broadcast** so stale descendants converge too; corrections come out of a
+separate bounded budget and are accounted in :attr:`RunStats.corrections`,
+never against the paper's per-node broadcast bounds (≤ k, ≤ l, ≤ 1).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from .message import Message
 from .protocol import NodeApi, NodeProtocol
@@ -35,32 +47,72 @@ __all__ = [
     "SiteRecord",
 ]
 
+_DEFAULT_CORRECTION_BUDGET = 16
+
 
 class NeighborhoodGossipProtocol(NodeProtocol):
     """Aggregated k-hop neighbourhood discovery.
 
-    Round r's broadcast carries the node ids first learned in round r-1, so
-    the wavefront expands exactly one hop per round; after ``k`` broadcasts
-    each node's ``known`` set is its closed k-hop neighbourhood N_k ∪ {self}.
+    Synchronous mode: round r's broadcast carries the node ids first learned
+    in round r-1, so the wavefront expands exactly one hop per round; after
+    ``k`` broadcasts each node's ``known`` set is its closed k-hop
+    neighbourhood N_k ∪ {self}.
+
+    Event-driven mode: entries are ``(origin, dist)`` pairs where ``dist``
+    is the sender's hop distance to the origin; a receiver adopts
+    ``dist + 1`` if it improves its record and re-forwards only entries
+    still inside the TTL (``dist + 1 < k``).  Late shorter paths re-open
+    forwarding via corrections, so N_k coverage survives reordering.
     """
 
     KIND = "nbr"
 
-    def __init__(self, node_id: int, k: int):
+    def __init__(self, node_id: int, k: int,
+                 correction_budget: int = _DEFAULT_CORRECTION_BUDGET,
+                 aggregation_delay: float = 0.0):
         super().__init__(node_id)
         if k < 1:
             raise ValueError("k must be at least 1")
+        if aggregation_delay < 0:
+            raise ValueError("aggregation_delay must be >= 0")
         self.k = k
         self.known: Set[int] = {node_id}
         self._fresh: Set[int] = set()
         self._sent = 0
+        # Event-driven state: hop distance per origin, pending TTL entries.
+        self._async = False
+        self._dists: Dict[int, int] = {node_id: 0}
+        self._pending: Dict[int, int] = {}
+        self._corrections_left = correction_budget
+        # Delay-and-aggregate: with jitter, same-wave entries arrive at
+        # distinct instants; holding the flush briefly re-aggregates them
+        # (Trickle-style) instead of spending one broadcast per entry.
+        # Zero delay flushes at batch end, which is the synchronous-
+        # equivalent behaviour the zero-jitter oracle relies on.
+        self._aggregation_delay = aggregation_delay
+        self._flush_armed = False
 
     def on_start(self, api: NodeApi) -> None:
-        api.broadcast(self.KIND, frozenset({self.node_id}))
+        self._async = api.is_async
+        if self._async:
+            api.broadcast(self.KIND, ((self.node_id, 0),))
+        else:
+            api.broadcast(self.KIND, frozenset({self.node_id}))
         self._sent = 1
 
     def on_message(self, message: Message, api: NodeApi) -> None:
         if message.kind != self.KIND:
+            return
+        if self._async:
+            for origin, dist in message.payload:
+                my_dist = dist + 1
+                best = self._dists.get(origin)
+                if best is not None and my_dist >= best:
+                    continue
+                self._dists[origin] = my_dist
+                self.known.add(origin)
+                if my_dist < self.k:
+                    self._pending[origin] = my_dist
             return
         for node in message.payload:
             if node not in self.known:
@@ -73,6 +125,34 @@ class NeighborhoodGossipProtocol(NodeProtocol):
             self._sent += 1
         self._fresh = set()
 
+    def on_batch_end(self, api: NodeApi) -> None:
+        if not self._pending or self._flush_armed:
+            return
+        if self._aggregation_delay > 0:
+            api.set_timer(self._aggregation_delay, "flush")
+            self._flush_armed = True
+            return
+        self._flush(api)
+
+    def on_timer(self, tag: str, api: NodeApi) -> None:
+        if tag != "flush":
+            return
+        self._flush_armed = False
+        if self._pending:
+            self._flush(api)
+
+    def _flush(self, api: NodeApi) -> None:
+        payload = tuple(sorted(self._pending.items()))
+        self._pending = {}
+        if self._sent < self.k:
+            api.broadcast(self.KIND, payload)
+            self._sent += 1
+        elif self._corrections_left > 0:
+            self._corrections_left -= 1
+            api.broadcast(self.KIND, payload, correction=True)
+        else:
+            api.note_suppressed_correction()
+
     @property
     def neighborhood_size(self) -> int:
         """|N_k| including the node itself."""
@@ -83,32 +163,64 @@ class ValueGossipProtocol(NodeProtocol):
     """Spread each node's (id, value) pair within l hops by aggregated gossip.
 
     ``value`` may be set lazily (e.g. after a first phase computed it); the
-    protocol begins transmitting in the round after :meth:`set_value` is
-    called.
+    protocol begins transmitting in the round (or batch) after
+    :meth:`set_value` is called.
+
+    Event-driven mode carries ``(origin, value, hops)`` entries with a TTL
+    of l hops — the same reach the synchronous run produces through its
+    shared round budget — and issues corrections when a shorter path to an
+    origin arrives after the budget is spent.
     """
 
     KIND = "val"
 
-    def __init__(self, node_id: int, l: int, value: Optional[Any] = None):
+    def __init__(self, node_id: int, l: int, value: Optional[Any] = None,
+                 correction_budget: int = _DEFAULT_CORRECTION_BUDGET,
+                 aggregation_delay: float = 0.0):
         super().__init__(node_id)
         if l < 1:
             raise ValueError("l must be at least 1")
+        if aggregation_delay < 0:
+            raise ValueError("aggregation_delay must be >= 0")
         self.l = l
         self.values: Dict[int, Any] = {}
         self._fresh: Dict[int, Any] = {}
         self._sent = 0
         self._ready = False
+        # Event-driven state: hop distance per origin, pending TTL entries.
+        self._async = False
+        self._hops: Dict[int, int] = {}
+        self._pending: Dict[int, Tuple[Any, int]] = {}
+        self._corrections_left = correction_budget
+        self._aggregation_delay = aggregation_delay
+        self._flush_armed = False
         if value is not None:
             self.set_value(value)
+
+    def on_start(self, api: NodeApi) -> None:
+        self._async = api.is_async
 
     def set_value(self, value: Any) -> None:
         """Provide this node's own value, enabling transmission."""
         self.values[self.node_id] = value
         self._fresh[self.node_id] = value
+        self._hops[self.node_id] = 0
+        self._pending[self.node_id] = (value, 0)
         self._ready = True
 
     def on_message(self, message: Message, api: NodeApi) -> None:
         if message.kind != self.KIND:
+            return
+        if self._async:
+            for origin, value, hops in message.payload:
+                my_hops = hops + 1
+                best = self._hops.get(origin)
+                if best is not None and my_hops >= best:
+                    continue
+                self._hops[origin] = my_hops
+                self.values[origin] = value
+                if my_hops < self.l:
+                    self._pending[origin] = (value, my_hops)
             return
         for node, value in message.payload:
             if node not in self.values:
@@ -120,6 +232,37 @@ class ValueGossipProtocol(NodeProtocol):
             api.broadcast(self.KIND, tuple(self._fresh.items()))
             self._sent += 1
         self._fresh = {}
+
+    def on_batch_end(self, api: NodeApi) -> None:
+        if not self._ready or not self._pending or self._flush_armed:
+            return
+        if self._aggregation_delay > 0:
+            api.set_timer(self._aggregation_delay, "flush")
+            self._flush_armed = True
+            return
+        self._flush(api)
+
+    def on_timer(self, tag: str, api: NodeApi) -> None:
+        if tag != "flush":
+            return
+        self._flush_armed = False
+        if self._ready and self._pending:
+            self._flush(api)
+
+    def _flush(self, api: NodeApi) -> None:
+        payload = tuple(
+            (origin, value, hops)
+            for origin, (value, hops) in sorted(self._pending.items())
+        )
+        self._pending = {}
+        if self._sent < self.l:
+            api.broadcast(self.KIND, payload)
+            self._sent += 1
+        elif self._corrections_left > 0:
+            self._corrections_left -= 1
+            api.broadcast(self.KIND, payload, correction=True)
+        else:
+            api.note_suppressed_correction()
 
     def is_active(self) -> bool:
         # Once ready, the node owes at least its own announcement.
@@ -138,11 +281,27 @@ class VoronoiFloodProtocol(NodeProtocol):
     order equal distance order), keep records of other sites whose distance
     differs from the best by at most ``alpha``, and never forward more than
     one broadcast.
+
+    On a lossy or event-driven fabric wave arrival order decouples from
+    distance order, which the synchronous rules silently rely on.  Two
+    repairs restore convergence, both bounded by ``correction_budget`` and
+    accounted as corrections (the ≤ 1 algorithmic broadcast bound holds):
+
+    * a *shorter path* to the site this node already forwarded upgrades the
+      record and is re-broadcast, so descendants that joined through this
+      node correct their (now stale) distances too;
+    * a *strictly nearer site* arriving after the node joined a farther
+      wave re-anchors the node — it records the new site, prunes records
+      that fell outside the α band, and forwards the nearer wave it should
+      have been part of.
+
+    Neither repair can fire on a fault-free synchronous run.
     """
 
     KIND = "site"
 
-    def __init__(self, node_id: int, is_site: bool, alpha: int = 1):
+    def __init__(self, node_id: int, is_site: bool, alpha: int = 1,
+                 correction_budget: int = _DEFAULT_CORRECTION_BUDGET):
         super().__init__(node_id)
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
@@ -153,16 +312,41 @@ class VoronoiFloodProtocol(NodeProtocol):
         if is_site:
             self.records[node_id] = (0, None)
         self._forwarded = False
+        self._forwarded_site: Optional[int] = None
+        self._corrections_left = correction_budget
 
     def on_start(self, api: NodeApi) -> None:
         if self.is_site:
             api.broadcast(self.KIND, (self.node_id, 0))
             self._forwarded = True
+            self._forwarded_site = self.node_id
 
     def best_distance(self) -> Optional[int]:
         if not self.records:
             return None
         return min(d for d, _ in self.records.values())
+
+    def _correct(self, api: NodeApi, site: int, dist: int) -> None:
+        if self._corrections_left > 0:
+            self._corrections_left -= 1
+            api.broadcast(self.KIND, (site, dist), correction=True)
+            self._forwarded_site = site
+        else:
+            api.note_suppressed_correction()
+
+    def _anchor_distance(self) -> float:
+        """Distance of the wave this node last propagated (∞ if that record
+        has since been pruned away)."""
+        record = self.records.get(self._forwarded_site)
+        return record[0] if record is not None else float("inf")
+
+    def _prune(self, new_best: int) -> None:
+        """Drop records pushed outside the α band by a better best distance."""
+        for stale in [
+            s for s, (d, _) in self.records.items()
+            if d > new_best + self.alpha
+        ]:
+            del self.records[stale]
 
     def on_message(self, message: Message, api: NodeApi) -> None:
         if message.kind != self.KIND:
@@ -175,17 +359,33 @@ class VoronoiFloodProtocol(NodeProtocol):
             self.records[site] = (my_dist, message.sender)
             api.broadcast(self.KIND, (site, my_dist))
             self._forwarded = True
+            self._forwarded_site = site
             return
         if site in self.records:
-            # Fault tolerance: lossy links can deliver waves out of distance
-            # order, so a shorter path to an already-recorded site may show
-            # up late.  Upgrading the record keeps distances (and the reverse
-            # path) honest without a second forward — the per-node one-
-            # broadcast bound of Section III-B is preserved.  On a fault-free
-            # synchronous run waves arrive in distance order and this branch
-            # never fires.
+            # Out-of-order delivery: a shorter path to an already-recorded
+            # site showed up late.  Upgrade the record; if this node already
+            # propagated the site's wave, descendants inherited the stale
+            # distance, so re-broadcast the upgrade as a correction.  An
+            # upgrade that makes a merely-banded site the strict nearest
+            # re-anchors this node: without forwarding, the nearer wave
+            # would stall here and every node downstream would keep the
+            # wrong cell.
             if my_dist < self.records[site][0]:
                 self.records[site] = (my_dist, message.sender)
+                if site == self._forwarded_site:
+                    self._prune(my_dist)
+                    self._correct(api, site, my_dist)
+                elif my_dist < self._anchor_distance():
+                    self._prune(my_dist)
+                    self._correct(api, site, my_dist)
+            return
+        if my_dist < best:
+            # A strictly nearer site arrived after this node joined a
+            # farther wave: re-anchor on it, drop records pushed outside the
+            # α band, and forward the wave this node should have carried.
+            self.records[site] = (my_dist, message.sender)
+            self._prune(my_dist)
+            self._correct(api, site, my_dist)
             return
         if my_dist - best <= self.alpha:
             # Near-equidistant to another site: keep the record (making this

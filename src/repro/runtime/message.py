@@ -25,12 +25,18 @@ class Message:
             happens at the start of the following round, modelling the
             synchronous communication rounds the paper's time complexity
             counts.
+        correction: True for repair traffic — a re-forward of a record the
+            sender upgraded after already transmitting it (late shorter
+            path).  Schedulers account corrections apart from the
+            algorithmic ``broadcasts`` so the paper's message bounds stay
+            measurable under asynchrony and loss.
     """
 
     sender: int
     kind: str
     payload: Any = None
     round_sent: int = 0
+    correction: bool = False
 
     def payload_items(self) -> Mapping:
         """The payload as a mapping (convenience for dict payloads)."""

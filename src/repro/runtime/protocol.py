@@ -25,6 +25,11 @@ class NodeApi:
     start of the next round.
     """
 
+    #: Whether the backing scheduler is event-driven.  Protocols with a
+    #: dual execution strategy (round-triggered vs timer-triggered) branch
+    #: on this once, in :meth:`NodeProtocol.on_start`.
+    is_async: bool = False
+
     def __init__(self, node_id: int, neighbors: Sequence[int], scheduler: "Any"):
         self.node_id = node_id
         self.neighbors: List[int] = list(neighbors)
@@ -35,9 +40,22 @@ class NodeApi:
         """The current round number (0-based)."""
         return self._scheduler.round
 
-    def broadcast(self, kind: str, payload: Any = None) -> None:
-        """Queue one broadcast to all neighbours, delivered next round."""
-        self._scheduler.queue_broadcast(self.node_id, kind, payload)
+    def broadcast(self, kind: str, payload: Any = None,
+                  correction: bool = False) -> None:
+        """Queue one broadcast to all neighbours, delivered next round.
+
+        ``correction=True`` marks repair traffic (a record upgraded after it
+        was already forwarded); it is delivered identically but accounted in
+        :attr:`RunStats.corrections` instead of the algorithmic broadcasts.
+        """
+        self._scheduler.queue_broadcast(
+            self.node_id, kind, payload, correction=correction
+        )
+
+    def note_suppressed_correction(self) -> None:
+        """Record a repair broadcast swallowed by a spent correction budget
+        (counted in :attr:`RunStats.corrections_suppressed`)."""
+        self._scheduler.stats.record_correction_suppressed()
 
 
 class NodeProtocol(abc.ABC):
@@ -61,6 +79,17 @@ class NodeProtocol(abc.ABC):
 
     def on_round_end(self, api: NodeApi) -> None:
         """Called after all of this round's messages were handled."""
+
+    def on_batch_end(self, api: NodeApi) -> None:
+        """Event-driven runtime only: called after every batch of same-time
+        deliveries to this node (the asynchronous analogue of a round end,
+        but purely local — no global barrier is implied).
+        """
+
+    def on_timer(self, tag: str, api: NodeApi) -> None:
+        """Event-driven runtime only: a timer set via ``api.set_timer``
+        fired.  ``tag`` is whatever the protocol passed when arming it.
+        """
 
     def is_active(self) -> bool:
         """Whether this node still intends to transmit in a later round.

@@ -18,8 +18,8 @@ probabilities are zero (and with no crashes) reproduces it bit-for-bit.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from collections import defaultdict, deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..network.graph import SensorNetwork
 from .faults import FaultPlan, RetryPolicy
@@ -30,6 +30,43 @@ from .stats import RunStats
 __all__ = ["SynchronousScheduler"]
 
 ProtocolFactory = Callable[[int], NodeProtocol]
+
+_DEADLINE_ACTIONS = ("raise", "return_partial")
+
+
+class SeqWindow:
+    """Receiver-side duplicate suppression with bounded memory.
+
+    A sliding window over the most recently seen sequence numbers: the
+    oldest entry is evicted once ``capacity`` is exceeded.  Retransmissions
+    arrive within the retry budget's horizon — far inside any reasonable
+    window — so eviction does not reopen realistic duplicates; it replaces
+    the previously unbounded one-entry-per-frame-ever set.
+    """
+
+    __slots__ = ("capacity", "_seen", "_order")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._seen: Set[int] = set()
+        self._order: Deque[int] = deque()
+
+    def add(self, seq: int) -> Tuple[bool, int]:
+        """Record *seq*; returns ``(fresh, evicted)`` where *fresh* is False
+        for a duplicate still inside the window and *evicted* counts entries
+        the window slid past."""
+        if seq in self._seen:
+            return False, 0
+        self._seen.add(seq)
+        self._order.append(seq)
+        evicted = 0
+        while len(self._order) > self.capacity:
+            self._seen.discard(self._order.popleft())
+            evicted += 1
+        return True, evicted
+
+    def __len__(self) -> int:
+        return len(self._order)
 
 
 class _Transmission:
@@ -74,13 +111,18 @@ class SynchronousScheduler:
         # Link-layer state (fault path only).
         self._next_seq = 0
         self._retry_queue: List[_Transmission] = []
-        self._seen_seqs: List[Set[int]] = [set() for _ in network.nodes()]
+        window = retry_policy.dedup_window if retry_policy is not None else 1
+        self._seen_seqs: List[SeqWindow] = [
+            SeqWindow(window) for _ in network.nodes()
+        ]
 
     # -- API used by NodeApi ------------------------------------------------
 
-    def queue_broadcast(self, sender: int, kind: str, payload) -> None:
+    def queue_broadcast(self, sender: int, kind: str, payload,
+                        correction: bool = False) -> None:
         self._outbox.append(
-            Message(sender=sender, kind=kind, payload=payload, round_sent=self.round)
+            Message(sender=sender, kind=kind, payload=payload,
+                    round_sent=self.round, correction=correction)
         )
 
     # -- execution ------------------------------------------------------------
@@ -122,7 +164,10 @@ class SynchronousScheduler:
         inboxes: Dict[int, List[Message]] = defaultdict(list)
         for msg in in_flight:
             neighbors = self.network.neighbors(msg.sender)
-            self.stats.record_broadcast(msg.sender, len(neighbors))
+            if msg.correction:
+                self.stats.record_correction(msg.sender, len(neighbors))
+            else:
+                self.stats.record_broadcast(msg.sender, len(neighbors))
             for v in neighbors:
                 inboxes[v].append(msg)
         self.round += 1
@@ -185,11 +230,13 @@ class SynchronousScheduler:
                     continue
                 delivered += 1
                 if policy is not None:
-                    if t.seq in self._seen_seqs[v]:
-                        self.stats.record_redundant()
-                    else:
-                        self._seen_seqs[v].add(t.seq)
+                    fresh, evicted = self._seen_seqs[v].add(t.seq)
+                    if evicted:
+                        self.stats.record_seen_eviction(evicted)
+                    if fresh:
                         inboxes[v].append(t.message)
+                    else:
+                        self.stats.record_redundant()
                     if v in t.awaiting:
                         if plan.ack_delivers(v, sender, rnd, t.seq):
                             t.awaiting.discard(v)
@@ -199,6 +246,9 @@ class SynchronousScheduler:
                     inboxes[v].append(t.message)
             if t.transmitted:
                 self.stats.record_retry(sender, delivered)
+            elif t.message.correction:
+                self.stats.record_correction(sender, delivered)
+                t.transmitted = True
             else:
                 self.stats.record_broadcast(sender, delivered)
                 t.transmitted = True
@@ -216,14 +266,28 @@ class SynchronousScheduler:
                 self.protocols[node].on_round_end(self.apis[node])
         return True
 
-    def run(self, max_rounds: int = 100_000) -> RunStats:
-        """Run until quiet (or *max_rounds*, which raises — a protocol that
-        never quiesces is a bug, not a result)."""
+    def run(self, max_rounds: int = 100_000,
+            deadline_action: str = "raise") -> RunStats:
+        """Run until quiet, or until *max_rounds*.
+
+        ``deadline_action`` picks what hitting the deadline means:
+        ``"raise"`` (default) treats a non-quiescing protocol as a bug and
+        raises ``RuntimeError``; ``"return_partial"`` returns the stats
+        gathered so far with :attr:`RunStats.quiesced` set to False — the
+        right mode for fault experiments, where a legitimately partitioned
+        or flap-starved run is a *result*, not an error, and the per-node
+        protocol state accumulated before the deadline is still wanted.
+        """
+        if deadline_action not in _DEADLINE_ACTIONS:
+            raise ValueError(f"deadline_action must be one of {_DEADLINE_ACTIONS}")
         rounds = 0
         while self.step():
             rounds += 1
             if rounds >= max_rounds:
-                raise RuntimeError(
-                    f"protocol did not quiesce within {max_rounds} rounds"
-                )
+                if deadline_action == "raise":
+                    raise RuntimeError(
+                        f"protocol did not quiesce within {max_rounds} rounds"
+                    )
+                self.stats.quiesced = False
+                return self.stats
         return self.stats

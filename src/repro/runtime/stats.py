@@ -11,14 +11,52 @@ traffic: ``broadcasts`` stays the protocol's own transmission count (the
 Theorem 5 quantity), while ``retries`` counts link-layer retransmissions,
 ``drops`` lost delivery attempts, ``acks_dropped`` lost acknowledgements
 and ``redundant_deliveries`` duplicate frames suppressed at the receiver.
+
+Asynchrony adds a third traffic class and a termination record:
+``corrections`` counts repair broadcasts (re-forwards of records that were
+upgraded after the node already transmitted — late shorter paths, stale
+descendants), ``corrections_suppressed`` those a spent re-forward budget
+swallowed, ``seen_evictions`` dedup-window entries evicted by the sliding
+sequence window, and :class:`ConvergenceReport` is what the event-driven
+scheduler's quiescence detector observed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-__all__ = ["RunStats"]
+__all__ = ["ConvergenceReport", "RunStats"]
+
+
+@dataclass
+class ConvergenceReport:
+    """What the deficit-counting quiescence detector saw in one async run.
+
+    Dijkstra–Scholten-style termination detection: every scheduled delivery
+    raises its sender's deficit, every consumed (or dropped) delivery
+    settles it; the network has converged when all deficits are zero, no
+    timer is pending, and no transmission awaits retry.  ``virtual_time``
+    is the logical clock at that instant.
+
+    Attributes:
+        quiesced: the run reached deficit-zero (False = a deadline cut it).
+        virtual_time: logical time of the last processed event.
+        events: total events processed (deliveries + timers).
+        deliveries: delivery events consumed by protocol handlers.
+        timer_fires: timer events fired.
+        max_outstanding: peak total deficit (in-flight deliveries).
+        partitioned: the live topology was disconnected during the run
+            (permanent crashes split the network).
+    """
+
+    quiesced: bool = True
+    virtual_time: float = 0.0
+    events: int = 0
+    deliveries: int = 0
+    timer_fires: int = 0
+    max_outstanding: int = 0
+    partitioned: bool = False
 
 
 @dataclass
@@ -32,6 +70,14 @@ class RunStats:
     drops: int = 0
     acks_dropped: int = 0
     redundant_deliveries: int = 0
+    corrections: int = 0
+    corrections_suppressed: int = 0
+    seen_evictions: int = 0
+    #: False when a deadline (max_rounds / virtual-time budget) cut the run
+    #: short of quiescence and the caller asked for partial results.
+    quiesced: bool = True
+    #: Termination-detector record; ``None`` for synchronous runs.
+    convergence: Optional[ConvergenceReport] = None
     broadcasts_per_round: List[int] = field(default_factory=list)
     broadcasts_per_node: Dict[int, int] = field(default_factory=dict)
 
@@ -64,6 +110,25 @@ class RunStats:
         """Record *count* duplicate frames suppressed at receivers."""
         self.redundant_deliveries += count
 
+    def record_correction(self, sender: int, fanout: int) -> None:
+        """Record one repair broadcast heard by *fanout* neighbours.
+
+        Corrections re-transmit *upgraded* records (a shorter path arrived
+        after the node already forwarded); they are recovery traffic, kept
+        out of ``broadcasts`` so the Theorem 5 per-node budgets stay
+        measurable under asynchrony and loss.
+        """
+        self.corrections += 1
+        self.receptions += fanout
+
+    def record_correction_suppressed(self, count: int = 1) -> None:
+        """Record *count* corrections swallowed by a spent re-forward budget."""
+        self.corrections_suppressed += count
+
+    def record_seen_eviction(self, count: int = 1) -> None:
+        """Record *count* dedup-set entries evicted by the sliding window."""
+        self.seen_evictions += count
+
     def start_round(self) -> None:
         self.rounds += 1
         self.broadcasts_per_round.append(0)
@@ -85,6 +150,12 @@ class RunStats:
             redundant_deliveries=(
                 self.redundant_deliveries + other.redundant_deliveries
             ),
+            corrections=self.corrections + other.corrections,
+            corrections_suppressed=(
+                self.corrections_suppressed + other.corrections_suppressed
+            ),
+            seen_evictions=self.seen_evictions + other.seen_evictions,
+            quiesced=self.quiesced and other.quiesced,
             broadcasts_per_round=self.broadcasts_per_round + other.broadcasts_per_round,
         )
         merged.broadcasts_per_node = dict(self.broadcasts_per_node)
@@ -103,4 +174,13 @@ class RunStats:
                 f"acks_dropped={self.acks_dropped} "
                 f"redundant={self.redundant_deliveries}"
             )
+        if self.corrections or self.corrections_suppressed:
+            base += (
+                f" corrections={self.corrections}"
+                f" suppressed={self.corrections_suppressed}"
+            )
+        if self.seen_evictions:
+            base += f" seen_evictions={self.seen_evictions}"
+        if not self.quiesced:
+            base += " quiesced=no"
         return base

@@ -4,6 +4,7 @@ Session-scoped because network construction and extraction dominate test
 time; all fixtures are read-only by convention.
 """
 
+import os
 import random
 
 import pytest
@@ -12,6 +13,18 @@ from repro.core import SkeletonExtractor
 from repro.geometry import make_field
 from repro.network import UnitDiskRadio, build_network
 from repro.network.deployment import uniform_deployment
+
+try:
+    from hypothesis import settings as _hyp_settings
+
+    # CI runs must be reproducible run-to-run: derandomize pins hypothesis
+    # to its deterministic example stream, so a red job is always
+    # re-debuggable locally with the same failures.
+    _hyp_settings.register_profile("ci", derandomize=True)
+    if os.environ.get("CI"):
+        _hyp_settings.load_profile("ci")
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
 
 
 def build_test_network(shape: str, n: int, radio_range: float, seed: int = 3):

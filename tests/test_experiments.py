@@ -45,7 +45,7 @@ class TestRunners:
     def test_registry_complete(self):
         assert set(ALL_RUNNERS) == {
             "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "thm5", "sec5b", "baselines", "ablations", "faults",
+            "thm5", "sec5b", "baselines", "ablations", "faults", "async",
         }
 
     def test_fig1_rows(self):

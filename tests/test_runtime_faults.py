@@ -227,3 +227,49 @@ class TestFlaps:
             net, k=7, plan=plan, policy=RetryPolicy(max_retries=6)
         )
         assert all(k == frozenset(range(8)) for k in recovered)
+
+
+class TestVoronoiCorrectionUnderLoss:
+    """A late shorter path on the lossy synchronous fabric must repair the
+    descendants that already forwarded the stale distance (the same staleness
+    the event-driven runtime produces by reordering)."""
+
+    def _network(self):
+        # Site 0 reaches node 3 two ways: the 3-hop chain 0-1-2-3 and the
+        # 2-hop shortcut 0-4-3.  Node 5 hangs off 3 as a descendant.
+        positions = [
+            Point(0.0, 0.0), Point(1.0, 0.0), Point(2.0, 0.0),
+            Point(3.0, 0.0), Point(1.5, 0.55), Point(4.0, 0.0),
+        ]
+        return build_network(positions, radio=UnitDiskRadio(1.6))
+
+    def test_late_shorter_path_corrects_descendants(self):
+        network = self._network()
+        # The shortcut relay sleeps through the first wave: node 3 (and its
+        # descendant 5) join via the long chain, then the relay recovers,
+        # the retried site frame reaches it, and its shorter wave must
+        # propagate as corrections.
+        plan = FaultPlan(crashes={4: CrashWindow(start=0, end=4)})
+        policy = RetryPolicy(max_retries=8)
+        sched = SynchronousScheduler(
+            network,
+            lambda v: VoronoiFloodProtocol(v, is_site=(v == 0)),
+            fault_plan=plan, retry_policy=policy,
+        )
+        stats = sched.run()
+        assert stats.corrections > 0
+        # Records converged to true hop distances despite the stale start.
+        assert sched.protocols[3].records[0][0] == 2
+        assert sched.protocols[5].records[0][0] == 3
+        assert sched.protocols[4].records[0][0] == 1
+        # The paper's ≤ 1 algorithmic broadcast budget still holds.
+        assert max(stats.broadcasts_per_node.values()) <= 1
+
+    def test_no_corrections_without_faults(self):
+        network = self._network()
+        sched = SynchronousScheduler(
+            network, lambda v: VoronoiFloodProtocol(v, is_site=(v == 0))
+        )
+        stats = sched.run()
+        assert stats.corrections == 0
+        assert sched.protocols[3].records[0][0] == 2
