@@ -52,7 +52,7 @@ its own), and the result carries ``partitioned=True`` plus one partial
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -66,6 +66,9 @@ from ..runtime.scheduler import SynchronousScheduler
 from ..runtime.stats import RunStats
 from .params import SkeletonParams
 from .voronoi import SitePair, VoronoiDecomposition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability import Tracer
 
 __all__ = [
     "SkeletonNodeProtocol",
@@ -584,6 +587,7 @@ def run_distributed_stages(network: SensorNetwork,
                            async_profile: Optional[AsyncProfile] = None,
                            deadline: Optional[float] = None,
                            deadline_action: str = "raise",
+                           tracer: Optional["Tracer"] = None,
                            ) -> DistributedExtraction:
     """Run identification + Voronoi construction as real protocols.
 
@@ -600,25 +604,35 @@ def run_distributed_stages(network: SensorNetwork,
     ``deadline_action="return_partial"`` turns a blown deadline (or
     exhausted ``max_rounds``) into a partial outcome with
     ``stats.quiesced == False`` instead of an error.
+
+    A *tracer* (see :mod:`repro.observability`) records every protocol
+    event — sends, deliveries, drops, retries, corrections, timers, crash
+    transitions — with virtual-time stamps; it never changes the outcome.
     """
+    from .pipeline import stage_span
+
     params = params if params is not None else SkeletonParams()
     if scheduler not in _SCHEDULERS:
         raise ValueError(f"scheduler must be one of {_SCHEDULERS}")
-    if scheduler == "async":
-        engine = AsyncScheduler(
-            network,
-            lambda node: SkeletonNodeProtocol(node, params,
-                                              async_profile=async_profile),
-            latency=latency, fault_plan=fault_plan, retry_policy=retry_policy,
-        )
-        stats = engine.run(deadline=deadline, deadline_action=deadline_action)
-    else:
-        engine = SynchronousScheduler(
-            network, lambda node: SkeletonNodeProtocol(node, params),
-            fault_plan=fault_plan, retry_policy=retry_policy,
-        )
-        stats = engine.run(max_rounds=max_rounds,
-                           deadline_action=deadline_action)
+    with stage_span(tracer, "stages1-2:distributed"):
+        if scheduler == "async":
+            engine = AsyncScheduler(
+                network,
+                lambda node: SkeletonNodeProtocol(node, params,
+                                                  async_profile=async_profile),
+                latency=latency, fault_plan=fault_plan,
+                retry_policy=retry_policy, tracer=tracer,
+            )
+            stats = engine.run(deadline=deadline,
+                               deadline_action=deadline_action)
+        else:
+            engine = SynchronousScheduler(
+                network, lambda node: SkeletonNodeProtocol(node, params),
+                fault_plan=fault_plan, retry_policy=retry_policy,
+                tracer=tracer,
+            )
+            stats = engine.run(max_rounds=max_rounds,
+                               deadline_action=deadline_action)
     protocols: List[SkeletonNodeProtocol] = engine.protocols  # type: ignore[assignment]
     return DistributedExtraction(
         network=network,
@@ -725,14 +739,15 @@ def voronoi_from_distributed(
     )
 
 
-def _skeleton_from_outcome(outcome: DistributedExtraction):
+def _skeleton_from_outcome(outcome: DistributedExtraction,
+                           tracer: Optional["Tracer"] = None):
     """Stages 3–4 (coarse skeleton, loop clean-up) over distributed stage
     artifacts, degrading to an empty skeleton when no site was elected."""
     from .byproducts import detect_boundary_nodes, segmentation_from_voronoi
     from .coarse import build_coarse_skeleton
     from .loops import identify_loops
     from .neighborhood import IndexData
-    from .pipeline import empty_skeleton_result
+    from .pipeline import empty_skeleton_result, stage_span
     from .refine import refine_skeleton
     from .result import SkeletonResult
 
@@ -748,16 +763,18 @@ def _skeleton_from_outcome(outcome: DistributedExtraction):
         result = empty_skeleton_result(network, params, index_data=index_data)
         result.run_stats = outcome.stats
         return result
-    coarse = build_coarse_skeleton(voronoi, index_data.index, params)
-    boundary = detect_boundary_nodes(
-        network, index_data.khop_sizes, params.boundary_threshold_factor
-    )
-    analysis = identify_loops(
-        coarse, voronoi, params,
-        boundary_nodes=boundary, index=index_data.index,
-    )
-    skeleton = refine_skeleton(coarse, analysis, voronoi, params)
-    segmentation = segmentation_from_voronoi(voronoi)
+    with stage_span(tracer, "stage3:coarse"):
+        coarse = build_coarse_skeleton(voronoi, index_data.index, params)
+    with stage_span(tracer, "stage4:refine"):
+        boundary = detect_boundary_nodes(
+            network, index_data.khop_sizes, params.boundary_threshold_factor
+        )
+        analysis = identify_loops(
+            coarse, voronoi, params,
+            boundary_nodes=boundary, index=index_data.index,
+        )
+        skeleton = refine_skeleton(coarse, analysis, voronoi, params)
+        segmentation = segmentation_from_voronoi(voronoi)
     return SkeletonResult(
         network=network,
         params=params,
@@ -818,7 +835,8 @@ def extract_skeleton_distributed(network: SensorNetwork,
                                  latency: Optional[LatencyModel] = None,
                                  async_profile: Optional[AsyncProfile] = None,
                                  deadline: Optional[float] = None,
-                                 deadline_action: str = "raise"):
+                                 deadline_action: str = "raise",
+                                 tracer: Optional["Tracer"] = None):
     """Full pipeline with stages 1–2 executed as message-passing protocols.
 
     Stages 3 and 4 (coarse skeleton, loop clean-up) run centrally over the
@@ -837,6 +855,10 @@ def extract_skeleton_distributed(network: SensorNetwork,
     flagged ``partitioned=True`` with one partial per-fragment extraction in
     ``component_results`` (each on its compacted induced subgraph, largest
     fragment first), alongside the whole-network artifacts.
+
+    A *tracer* (see :mod:`repro.observability`) records protocol events for
+    stages 1–2 and wall-clock spans for stages 3–4; results are
+    bit-identical with and without one.
     """
     from .result import ComponentResult
 
@@ -845,9 +867,9 @@ def extract_skeleton_distributed(network: SensorNetwork,
         network, params, max_rounds=max_rounds,
         fault_plan=fault_plan, retry_policy=retry_policy,
         scheduler=scheduler, latency=latency, async_profile=async_profile,
-        deadline=deadline, deadline_action=deadline_action,
+        deadline=deadline, deadline_action=deadline_action, tracer=tracer,
     )
-    result = _skeleton_from_outcome(outcome)
+    result = _skeleton_from_outcome(outcome, tracer=tracer)
     components = live_components(network, fault_plan)
     if len(components) > 1:
         result.partitioned = True

@@ -9,7 +9,8 @@ evaluation.
 
 from __future__ import annotations
 
-from typing import Optional
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -24,7 +25,19 @@ from .refine import SkeletonGraph, refine_skeleton
 from .result import SkeletonResult
 from .voronoi import VoronoiDecomposition, build_voronoi
 
-__all__ = ["SkeletonExtractor", "extract_skeleton", "empty_skeleton_result"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability import Tracer
+
+__all__ = ["SkeletonExtractor", "extract_skeleton", "empty_skeleton_result",
+           "stage_span"]
+
+
+def stage_span(tracer: Optional["Tracer"], name: str):
+    """A wall-clock span over one pipeline stage, or a no-op without a
+    tracer — the single guard every entry point shares."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, category="pipeline")
 
 
 def empty_skeleton_result(network: SensorNetwork,
@@ -83,42 +96,48 @@ class SkeletonExtractor:
     def __init__(self, params: Optional[SkeletonParams] = None):
         self.params = params if params is not None else SkeletonParams()
 
-    def extract(self, network: SensorNetwork) -> SkeletonResult:
+    def extract(self, network: SensorNetwork,
+                tracer: Optional["Tracer"] = None) -> SkeletonResult:
         """Run all four stages and return the full result record.
 
         An empty network yields an empty-but-complete result rather than an
         error: production pipelines feed arbitrary deployments and a
-        zero-node slice is a valid (if vacuous) input.
+        zero-node slice is a valid (if vacuous) input.  A *tracer* records
+        one wall-clock span per stage; it never affects the result.
         """
         params = self.params
         if network.num_nodes == 0:
             return empty_skeleton_result(network, params)
 
         # Stage 1 — skeleton node identification (Fig. 1b).
-        index_data = compute_indices(network, params)
-        critical = find_critical_nodes(network, index_data, params)
+        with stage_span(tracer, "stage1:identification"):
+            index_data = compute_indices(network, params)
+            critical = find_critical_nodes(network, index_data, params)
 
         # Stage 2 — Voronoi cells and segment nodes (Fig. 1c).
-        voronoi = build_voronoi(network, critical, params)
+        with stage_span(tracer, "stage2:voronoi"):
+            voronoi = build_voronoi(network, critical, params)
 
         # Stage 3 — coarse skeleton (Fig. 1d).
-        coarse = build_coarse_skeleton(voronoi, index_data.index, params)
+        with stage_span(tracer, "stage3:coarse"):
+            coarse = build_coarse_skeleton(voronoi, index_data.index, params)
 
-        # By-product 2 first (Fig. 3b): the boundary nodes double as the
-        # hole evidence for loop classification.
-        boundary = detect_boundary_nodes(
-            network, index_data.khop_sizes, params.boundary_threshold_factor
-        )
+        with stage_span(tracer, "stage4:refine"):
+            # By-product 2 first (Fig. 3b): the boundary nodes double as the
+            # hole evidence for loop classification.
+            boundary = detect_boundary_nodes(
+                network, index_data.khop_sizes, params.boundary_threshold_factor
+            )
 
-        # Stage 4 — identify loops, drop fakes, prune (Fig. 1e–h).
-        analysis = identify_loops(
-            coarse, voronoi, params,
-            boundary_nodes=boundary, index=index_data.index,
-        )
-        skeleton = refine_skeleton(coarse, analysis, voronoi, params)
+            # Stage 4 — identify loops, drop fakes, prune (Fig. 1e–h).
+            analysis = identify_loops(
+                coarse, voronoi, params,
+                boundary_nodes=boundary, index=index_data.index,
+            )
+            skeleton = refine_skeleton(coarse, analysis, voronoi, params)
 
-        # By-product 1 (Fig. 3a).
-        segmentation = segmentation_from_voronoi(voronoi)
+            # By-product 1 (Fig. 3a).
+            segmentation = segmentation_from_voronoi(voronoi)
 
         return SkeletonResult(
             network=network,
@@ -135,6 +154,7 @@ class SkeletonExtractor:
 
 
 def extract_skeleton(network: SensorNetwork,
-                     params: Optional[SkeletonParams] = None) -> SkeletonResult:
+                     params: Optional[SkeletonParams] = None,
+                     tracer: Optional["Tracer"] = None) -> SkeletonResult:
     """One-call convenience wrapper around :class:`SkeletonExtractor`."""
-    return SkeletonExtractor(params).extract(network)
+    return SkeletonExtractor(params).extract(network, tracer=tracer)

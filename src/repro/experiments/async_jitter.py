@@ -31,6 +31,7 @@ from ..analysis import evaluate_skeleton, failure_knee, preserved_holes, \
 from ..core import extract_skeleton_distributed
 from ..geometry.medial_axis import approximate_medial_axis
 from ..network import get_scenario
+from ..observability import Tracer
 from ..runtime import AsyncProfile, LatencyModel
 from .harness import ExperimentReport, scaled_nodes
 
@@ -80,10 +81,12 @@ def run_async_jitter(scale: float = 1.0, seed: int = 1,
         for kind in kinds:
             for jitter in jitters:
                 latency = _latency(kind, jitter, latency_seed)
+                tracer = Tracer(record_events=False)
                 result = extract_skeleton_distributed(
                     network,
                     scheduler="async",
                     latency=latency,
+                    tracer=tracer,
                     # A deployment tunes timeouts to the expected
                     # worst-case latency, so the grace scales with the
                     # model's tail (for the degenerate model this is the
@@ -106,6 +109,7 @@ def run_async_jitter(scale: float = 1.0, seed: int = 1,
                 )
                 stats = result.run_stats
                 convergence = stats.convergence
+                per_phase = tracer.metrics().phase_broadcasts()
                 row = dict(
                     scenario=name,
                     arm=kind,
@@ -125,6 +129,10 @@ def run_async_jitter(scale: float = 1.0, seed: int = 1,
                     homotopy_ok=quality.homotopy_ok,
                     stability_mean=round(drift.mean_distance, 4),
                     stability_hausdorff=round(drift.hausdorff, 4),
+                    bcast_nbr=per_phase.get("nbr", 0),
+                    bcast_size=per_phase.get("size", 0),
+                    bcast_index=per_phase.get("index", 0),
+                    bcast_site=per_phase.get("site", 0),
                 )
                 report.add_row(**row)
                 knee_rows[kind].append(row)

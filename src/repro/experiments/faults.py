@@ -20,6 +20,7 @@ from ..analysis import evaluate_skeleton, failure_knee, preserved_holes
 from ..core import extract_skeleton_distributed
 from ..geometry.medial_axis import approximate_medial_axis
 from ..network import get_scenario
+from ..observability import Tracer
 from ..runtime import FaultPlan, RetryPolicy
 from .harness import ExperimentReport, scaled_nodes
 
@@ -67,15 +68,17 @@ def run_fault_degradation(scale: float = 1.0, seed: int = 1,
                 # completing; return the partial extraction and let the
                 # quality metrics record the degradation instead of
                 # aborting the sweep.
+                tracer = Tracer(record_events=False)
                 result = extract_skeleton_distributed(
                     network, fault_plan=plan, retry_policy=policy,
-                    deadline_action="return_partial",
+                    deadline_action="return_partial", tracer=tracer,
                 )
                 quality = evaluate_skeleton(
                     network, result.skeleton.nodes, result.skeleton.edges,
                     medial_axis=medial, preserved_hole_count=holes,
                 )
                 stats = result.run_stats
+                per_phase = tracer.metrics().phase_broadcasts()
                 row = dict(
                     scenario=name,
                     arm=arm,
@@ -92,6 +95,10 @@ def run_fault_degradation(scale: float = 1.0, seed: int = 1,
                     cycles=quality.cycle_count,
                     preserved_holes=holes,
                     homotopy_ok=quality.homotopy_ok,
+                    bcast_nbr=per_phase.get("nbr", 0),
+                    bcast_size=per_phase.get("size", 0),
+                    bcast_index=per_phase.get("index", 0),
+                    bcast_site=per_phase.get("site", 0),
                 )
                 report.add_row(**row)
                 knee_rows[arm].append(row)

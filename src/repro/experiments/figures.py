@@ -23,6 +23,7 @@ from ..analysis import (
     skeleton_stability,
 )
 from ..core import SkeletonExtractor, SkeletonParams, run_distributed_stages
+from ..observability import Tracer
 from ..geometry.medial_axis import approximate_medial_axis
 from ..network import (
     FIG5_DEGREES,
@@ -276,8 +277,11 @@ def run_thm5_complexity(scale: float = 1.0, seed: int = 1,
     rounds: List[float] = []
     for n in sizes:
         network = scenario.build(seed=seed, num_nodes=n)
-        outcome = run_distributed_stages(network, params)
+        # Aggregate-only tracer: per-phase broadcast columns at counter cost.
+        tracer = Tracer(record_events=False)
+        outcome = run_distributed_stages(network, params, tracer=tracer)
         per_node = messages_per_node(outcome.stats.broadcasts, network.num_nodes)
+        per_phase = tracer.metrics().phase_broadcasts()
         ns.append(network.num_nodes)
         broadcasts.append(outcome.stats.broadcasts)
         rounds.append(outcome.stats.rounds)
@@ -288,6 +292,10 @@ def run_thm5_complexity(scale: float = 1.0, seed: int = 1,
             bound_k_plus_l_plus_1=params.k + params.l + 1,
             rounds=outcome.stats.rounds,
             critical_nodes=len(outcome.critical_nodes),
+            bcast_nbr=per_phase.get("nbr", 0),
+            bcast_size=per_phase.get("size", 0),
+            bcast_index=per_phase.get("index", 0),
+            bcast_site=per_phase.get("site", 0),
         )
     if len(ns) >= 2:
         msg_fit = fit_power_law(ns, broadcasts)

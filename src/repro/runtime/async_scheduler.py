@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..network.graph import SensorNetwork
 from .faults import FaultPlan, RetryPolicy
@@ -51,6 +51,9 @@ from .message import Message
 from .protocol import NodeApi, NodeProtocol
 from .scheduler import SeqWindow
 from .stats import ConvergenceReport, RunStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..observability import Tracer
 
 __all__ = ["AsyncNodeApi", "AsyncProfile", "AsyncScheduler"]
 
@@ -137,7 +140,7 @@ class _Transmission:
     """Link-layer state of one broadcast: ack bookkeeping and retry budget."""
 
     __slots__ = ("message", "seq", "awaiting", "retries_left", "transmitted",
-                 "rto")
+                 "rto", "trace_id", "trace_parent")
 
     def __init__(self, message: Message, seq: int, awaiting: Set[int],
                  retries_left: int, rto: float):
@@ -147,6 +150,9 @@ class _Transmission:
         self.retries_left = retries_left
         self.transmitted = False
         self.rto = rto
+        # Tracing-only bookkeeping (None when no tracer is attached).
+        self.trace_id: Optional[int] = None
+        self.trace_parent: Optional[int] = None
 
 
 class AsyncScheduler:
@@ -155,11 +161,14 @@ class AsyncScheduler:
     def __init__(self, network: SensorNetwork, protocol_factory: ProtocolFactory,
                  latency: Optional[LatencyModel] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 tracer: Optional["Tracer"] = None):
         self.network = network
         self.latency = latency if latency is not None else LatencyModel.fixed()
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
+        self.tracer = tracer
+        self._trace_up: Dict[int, bool] = {}
         self.protocols: List[NodeProtocol] = [
             protocol_factory(node) for node in network.nodes()
         ]
@@ -214,8 +223,16 @@ class AsyncScheduler:
         rto = (self.retry_policy.rto * self.latency.base
                if self.retry_policy else 0.0)
         tx = _Transmission(message, self._next_seq, awaiting, retries, rto)
+        if self.tracer is not None:
+            tx.trace_parent = self.tracer.current_cause
         self._next_seq += 1
         self._transmit(tx)
+
+    def record_suppressed_correction(self, node: int) -> None:
+        """A node's correction was swallowed by a spent re-forward budget."""
+        self.stats.record_correction_suppressed()
+        if self.tracer is not None:
+            self.tracer.on_suppress(node, self.now)
 
     # -- the fabric ---------------------------------------------------------
 
@@ -224,6 +241,7 @@ class AsyncScheduler:
         delivery events, and arm the retransmission timeout if needed."""
         plan = self.fault_plan
         policy = self.retry_policy
+        tr = self.tracer
         sender = tx.message.sender
         rnd = int(self.now)
         neighbors = self.network.neighbors(sender)
@@ -236,7 +254,16 @@ class AsyncScheduler:
                 self._schedule_retx(tx, self._recovery_time(sender, rnd))
             else:
                 self.stats.record_drop(len(neighbors))
+                if tr is not None:
+                    tr.on_drop(tx.message, sender, None, self.now,
+                               count=len(neighbors))
             return
+        if tr is not None:
+            if tx.transmitted:
+                tr.on_retry(tx.message, self.now, len(neighbors), tx.trace_id)
+            else:
+                tx.trace_id = tr.on_send(tx.message, self.now, len(neighbors),
+                                         parent=tx.trace_parent)
         delivered = 0
         for v in neighbors:
             if plan is not None and (
@@ -245,6 +272,8 @@ class AsyncScheduler:
                 or not plan.delivers(sender, v, rnd, tx.seq)
             ):
                 self.stats.record_drop()
+                if tr is not None:
+                    tr.on_drop(tx.message, sender, v, self.now)
                 continue
             delivered += 1
             delay = self.latency.delay(sender, v, tx.seq)
@@ -292,16 +321,36 @@ class AsyncScheduler:
     def _start(self) -> None:
         # on_start in node order, then the t=0 batch hook in node order —
         # protocols whose first send happens in a flush (lazily provided
-        # values) get their kick without a synthetic round.
+        # values) get their kick without a synthetic round.  The round
+        # bucket opens first so even on_start broadcasts land in it (the
+        # shutdown invariant re-totals the per-round split).
+        self.stats.start_round()
         for node in self.network.nodes():
             self.protocols[node].on_start(self.apis[node])
-        self.stats.start_round()
         for node in self.network.nodes():
             self.protocols[node].on_batch_end(self.apis[node])
         self._started = True
 
     def _node_up(self, node: int) -> bool:
         return self.fault_plan is None or self.fault_plan.node_up(node, int(self.now))
+
+    def _trace_crash_transitions(self) -> None:
+        """Emit crash/recover events for nodes whose up-state flipped.
+
+        Tracing-only bookkeeping: only nodes with a crash schedule can ever
+        flip, so the scan is bounded by the fault plan, not the network.
+        """
+        plan = self.fault_plan
+        rnd = int(self.now)
+        for node in plan.crashes:
+            up = plan.node_up(node, rnd)
+            was_up = self._trace_up.get(node, True)
+            if up != was_up:
+                self._trace_up[node] = up
+                if up:
+                    self.tracer.on_recover(node, self.now)
+                else:
+                    self.tracer.on_crash(node, self.now)
 
     def _process_batch(self, events: List[tuple]) -> None:
         """Handle every event sharing one virtual-time instant.
@@ -324,7 +373,10 @@ class AsyncScheduler:
         if inboxes:
             self.stats.start_round()
         plan = self.fault_plan
+        tr = self.tracer
         rnd = int(self.now)
+        if tr is not None and plan is not None:
+            self._trace_crash_transitions()
         for node, batch in inboxes.items():
             api = self.apis[node]
             protocol = self.protocols[node]
@@ -338,6 +390,8 @@ class AsyncScheduler:
                     # ARQ retries into the crash window, exactly like the
                     # synchronous fabric (which resolves acks at delivery).
                     self.stats.record_drop()
+                    if tr is not None:
+                        tr.on_drop(tx.message, sender, node, self.now)
                     continue
                 if self.retry_policy is not None:
                     if node in tx.awaiting:
@@ -347,13 +401,26 @@ class AsyncScheduler:
                             tx.awaiting.discard(node)
                         else:
                             self.stats.record_ack_drop()
+                            if tr is not None:
+                                tr.on_ack_drop(tx.message, node, sender,
+                                               self.now)
                     fresh, evicted = self._seen_seqs[node].add(seq)
                     if evicted:
                         self.stats.record_seen_eviction(evicted)
                     if not fresh:
                         self.stats.record_redundant()
+                        if tr is not None:
+                            tr.on_redundant(tx.message, node, self.now)
                         continue
-                protocol.on_message(tx.message, api)
+                if tr is None:
+                    protocol.on_message(tx.message, api)
+                else:
+                    tr.on_deliver(node, tx.message, tx.trace_id, self.now)
+                    tr.begin_handling(tx.trace_id)
+                    try:
+                        protocol.on_message(tx.message, api)
+                    finally:
+                        tr.end_handling()
         for node in inboxes:
             if self._node_up(node):
                 self.protocols[node].on_batch_end(self.apis[node])
@@ -373,6 +440,8 @@ class AsyncScheduler:
                 )
                 continue
             self._report.timer_fires += 1
+            if tr is not None:
+                tr.on_timer(node, tag, self.now)
             self.protocols[node].on_timer(tag, self.apis[node])
 
     def run(self, deadline: Optional[float] = None,
@@ -424,6 +493,7 @@ class AsyncScheduler:
         self._report.partitioned = self._is_partitioned()
         self.stats.quiesced = self._report.quiesced
         self.stats.convergence = self._report
+        self.stats.check_invariants()
         return self.stats
 
     def _is_partitioned(self) -> bool:

@@ -54,8 +54,9 @@ class NodeApi:
 
     def note_suppressed_correction(self) -> None:
         """Record a repair broadcast swallowed by a spent correction budget
-        (counted in :attr:`RunStats.corrections_suppressed`)."""
-        self._scheduler.stats.record_correction_suppressed()
+        (counted in :attr:`RunStats.corrections_suppressed` and, when a
+        tracer is attached, as a ``suppress`` trace event)."""
+        self._scheduler.record_suppressed_correction(self.node_id)
 
 
 class NodeProtocol(abc.ABC):

@@ -19,13 +19,17 @@ probabilities are zero (and with no crashes) reproduces it bit-for-bit.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, \
+    Sequence, Set, Tuple
 
 from ..network.graph import SensorNetwork
 from .faults import FaultPlan, RetryPolicy
 from .message import Message
 from .protocol import NodeApi, NodeProtocol
 from .stats import RunStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..observability import Tracer
 
 __all__ = ["SynchronousScheduler"]
 
@@ -77,7 +81,8 @@ class _Transmission:
     as the algorithmic broadcast, every later one as a retry.
     """
 
-    __slots__ = ("message", "seq", "awaiting", "retries_left", "transmitted")
+    __slots__ = ("message", "seq", "awaiting", "retries_left", "transmitted",
+                 "trace_id", "trace_parent")
 
     def __init__(self, message: Message, seq: int,
                  awaiting: Set[int], retries_left: int):
@@ -86,6 +91,11 @@ class _Transmission:
         self.awaiting = awaiting
         self.retries_left = retries_left
         self.transmitted = False
+        # Tracing-only bookkeeping (None when no tracer is attached):
+        # the tracer-assigned broadcast id, and the msg id whose handling
+        # queued this broadcast (the causal edge).
+        self.trace_id: Optional[int] = None
+        self.trace_parent: Optional[int] = None
 
 
 class SynchronousScheduler:
@@ -93,7 +103,8 @@ class SynchronousScheduler:
 
     def __init__(self, network: SensorNetwork, protocol_factory: ProtocolFactory,
                  fault_plan: Optional[FaultPlan] = None,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 tracer: Optional["Tracer"] = None):
         self.network = network
         self.protocols: List[NodeProtocol] = [
             protocol_factory(node) for node in network.nodes()
@@ -106,8 +117,15 @@ class SynchronousScheduler:
         self.stats = RunStats()
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
+        self.tracer = tracer
         self._outbox: List[Message] = []
         self._started = False
+        # Tracing-only side tables, keyed by message identity only while
+        # the message is alive in ``_outbox`` (so ids cannot be recycled):
+        # the causal parent captured at queue time, and this round's
+        # message -> trace id map used to stamp deliveries.
+        self._trace_parents: Dict[int, int] = {}
+        self._trace_up: Dict[int, bool] = {}
         # Link-layer state (fault path only).
         self._next_seq = 0
         self._retry_queue: List[_Transmission] = []
@@ -120,10 +138,19 @@ class SynchronousScheduler:
 
     def queue_broadcast(self, sender: int, kind: str, payload,
                         correction: bool = False) -> None:
-        self._outbox.append(
-            Message(sender=sender, kind=kind, payload=payload,
-                    round_sent=self.round, correction=correction)
-        )
+        message = Message(sender=sender, kind=kind, payload=payload,
+                          round_sent=self.round, correction=correction)
+        if self.tracer is not None:
+            cause = self.tracer.current_cause
+            if cause is not None:
+                self._trace_parents[id(message)] = cause
+        self._outbox.append(message)
+
+    def record_suppressed_correction(self, node: int) -> None:
+        """A node's correction was swallowed by a spent re-forward budget."""
+        self.stats.record_correction_suppressed()
+        if self.tracer is not None:
+            self.tracer.on_suppress(node, float(self.round))
 
     # -- execution ------------------------------------------------------------
 
@@ -160,25 +187,71 @@ class SynchronousScheduler:
             return False
         self._outbox = []
         self.stats.start_round()
-        # Account each broadcast once, then fan it out to neighbours.
+        tr = self.tracer
+        now = float(self.round + 1)
+        trace_ids: Dict[int, int] = {}
+        # Account each broadcast once, then fan it out to neighbours.  The
+        # tracer hooks live in a separate loop so the tracerless hot path
+        # pays nothing per message.
         inboxes: Dict[int, List[Message]] = defaultdict(list)
-        for msg in in_flight:
-            neighbors = self.network.neighbors(msg.sender)
-            if msg.correction:
-                self.stats.record_correction(msg.sender, len(neighbors))
-            else:
-                self.stats.record_broadcast(msg.sender, len(neighbors))
-            for v in neighbors:
-                inboxes[v].append(msg)
+        if tr is None:
+            for msg in in_flight:
+                neighbors = self.network.neighbors(msg.sender)
+                if msg.correction:
+                    self.stats.record_correction(msg.sender, len(neighbors))
+                else:
+                    self.stats.record_broadcast(msg.sender, len(neighbors))
+                for v in neighbors:
+                    inboxes[v].append(msg)
+        else:
+            for msg in in_flight:
+                neighbors = self.network.neighbors(msg.sender)
+                trace_ids[id(msg)] = tr.on_send(
+                    msg, now, len(neighbors),
+                    parent=self._trace_parents.pop(id(msg), None),
+                )
+                if msg.correction:
+                    self.stats.record_correction(msg.sender, len(neighbors))
+                else:
+                    self.stats.record_broadcast(msg.sender, len(neighbors))
+                for v in neighbors:
+                    inboxes[v].append(msg)
         self.round += 1
         for node, messages in inboxes.items():
             api = self.apis[node]
             protocol = self.protocols[node]
-            for msg in messages:
-                protocol.on_message(msg, api)
+            if tr is None:
+                for msg in messages:
+                    protocol.on_message(msg, api)
+            else:
+                for msg in messages:
+                    msg_id = trace_ids[id(msg)]
+                    tr.on_deliver(node, msg, msg_id, now)
+                    tr.begin_handling(msg_id)
+                    try:
+                        protocol.on_message(msg, api)
+                    finally:
+                        tr.end_handling()
         for node in self.network.nodes():
             self.protocols[node].on_round_end(self.apis[node])
         return True
+
+    def _trace_crash_transitions(self, now: float) -> None:
+        """Emit crash/recover events for nodes whose up-state flipped.
+
+        Tracing-only bookkeeping: only nodes with a crash schedule can ever
+        flip, so the scan is bounded by the fault plan, not the network.
+        """
+        plan = self.fault_plan
+        for node in plan.crashes:
+            up = plan.node_up(node, self.round)
+            was_up = self._trace_up.get(node, True)
+            if up != was_up:
+                self._trace_up[node] = up
+                if up:
+                    self.tracer.on_recover(node, now)
+                else:
+                    self.tracer.on_crash(node, now)
 
     def _step_faulty(self) -> bool:
         """One round over the faulty fabric (drops, flaps, crashes, ARQ)."""
@@ -191,6 +264,10 @@ class SynchronousScheduler:
         self.stats.start_round()
         self.round += 1
         rnd = self.round
+        tr = self.tracer
+        now = float(rnd)
+        if tr is not None:
+            self._trace_crash_transitions(now)
 
         # Pending retransmissions go on air before this round's new frames:
         # they carry older data, matching FIFO link behaviour.
@@ -201,13 +278,15 @@ class SynchronousScheduler:
                 set(self.network.neighbors(msg.sender))
                 if policy is not None else set()
             )
-            transmissions.append(
-                _Transmission(msg, self._next_seq, awaiting,
-                              policy.max_retries if policy is not None else 0)
-            )
+            tx = _Transmission(msg, self._next_seq, awaiting,
+                               policy.max_retries if policy is not None else 0)
+            if tr is not None:
+                tx.trace_parent = self._trace_parents.pop(id(msg), None)
+            transmissions.append(tx)
             self._next_seq += 1
 
         inboxes: Dict[int, List[Message]] = defaultdict(list)
+        inbox_ids: Dict[int, List[Optional[int]]] = defaultdict(list)
         for t in transmissions:
             sender = t.message.sender
             if not plan.node_up(sender, rnd):
@@ -217,8 +296,18 @@ class SynchronousScheduler:
                     t.retries_left -= 1
                     self._retry_queue.append(t)
                 else:
-                    self.stats.record_drop(len(self.network.neighbors(sender)))
+                    fanout = len(self.network.neighbors(sender))
+                    self.stats.record_drop(fanout)
+                    if tr is not None:
+                        tr.on_drop(t.message, sender, None, now, count=fanout)
                 continue
+            if tr is not None:
+                fanout = len(self.network.neighbors(sender))
+                if t.transmitted:
+                    tr.on_retry(t.message, now, fanout, t.trace_id)
+                else:
+                    t.trace_id = tr.on_send(t.message, now, fanout,
+                                            parent=t.trace_parent)
             delivered = 0
             for v in self.network.neighbors(sender):
                 if (
@@ -227,6 +316,8 @@ class SynchronousScheduler:
                     or not plan.delivers(sender, v, rnd, t.seq)
                 ):
                     self.stats.record_drop()
+                    if tr is not None:
+                        tr.on_drop(t.message, sender, v, now)
                     continue
                 delivered += 1
                 if policy is not None:
@@ -235,15 +326,25 @@ class SynchronousScheduler:
                         self.stats.record_seen_eviction(evicted)
                     if fresh:
                         inboxes[v].append(t.message)
+                        if tr is not None:
+                            inbox_ids[v].append(t.trace_id)
+                            tr.on_deliver(v, t.message, t.trace_id, now)
                     else:
                         self.stats.record_redundant()
+                        if tr is not None:
+                            tr.on_redundant(t.message, v, now)
                     if v in t.awaiting:
                         if plan.ack_delivers(v, sender, rnd, t.seq):
                             t.awaiting.discard(v)
                         else:
                             self.stats.record_ack_drop()
+                            if tr is not None:
+                                tr.on_ack_drop(t.message, v, sender, now)
                 else:
                     inboxes[v].append(t.message)
+                    if tr is not None:
+                        inbox_ids[v].append(t.trace_id)
+                        tr.on_deliver(v, t.message, t.trace_id, now)
             if t.transmitted:
                 self.stats.record_retry(sender, delivered)
             elif t.message.correction:
@@ -259,8 +360,17 @@ class SynchronousScheduler:
         for node, messages in inboxes.items():
             api = self.apis[node]
             protocol = self.protocols[node]
-            for msg in messages:
-                protocol.on_message(msg, api)
+            if tr is None:
+                for msg in messages:
+                    protocol.on_message(msg, api)
+            else:
+                ids = inbox_ids[node]
+                for msg, msg_id in zip(messages, ids):
+                    tr.begin_handling(msg_id)
+                    try:
+                        protocol.on_message(msg, api)
+                    finally:
+                        tr.end_handling()
         for node in self.network.nodes():
             if plan.node_up(node, rnd):
                 self.protocols[node].on_round_end(self.apis[node])
@@ -289,5 +399,7 @@ class SynchronousScheduler:
                         f"protocol did not quiesce within {max_rounds} rounds"
                     )
                 self.stats.quiesced = False
+                self.stats.check_invariants()
                 return self.stats
+        self.stats.check_invariants()
         return self.stats

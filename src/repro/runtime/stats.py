@@ -58,6 +58,32 @@ class ConvergenceReport:
     max_outstanding: int = 0
     partitioned: bool = False
 
+    def check_invariants(self) -> None:
+        """Raise ``RuntimeError`` if the detector's record is inconsistent.
+
+        Every field is a monotone accumulator, so a negative value — or a
+        total smaller than its parts — can only come from double-counting
+        or a missed settle.  Schedulers call this at shutdown.
+        """
+        for name in ("events", "deliveries", "timer_fires", "max_outstanding"):
+            value = getattr(self, name)
+            if value < 0:
+                raise RuntimeError(
+                    f"ConvergenceReport.{name} went negative ({value}): "
+                    f"counter double-settled"
+                )
+        if self.virtual_time < 0:
+            raise RuntimeError(
+                f"ConvergenceReport.virtual_time went negative "
+                f"({self.virtual_time})"
+            )
+        if self.deliveries + self.timer_fires > self.events:
+            raise RuntimeError(
+                f"ConvergenceReport counted more deliveries+timers "
+                f"({self.deliveries} + {self.timer_fires}) than processed "
+                f"events ({self.events})"
+            )
+
 
 @dataclass
 class RunStats:
@@ -132,6 +158,54 @@ class RunStats:
     def start_round(self) -> None:
         self.rounds += 1
         self.broadcasts_per_round.append(0)
+
+    #: Counters that must never go negative (all are append-only).
+    _COUNTERS = (
+        "broadcasts", "receptions", "rounds", "retries", "drops",
+        "acks_dropped", "redundant_deliveries", "corrections",
+        "corrections_suppressed", "seen_evictions",
+    )
+
+    def check_invariants(self) -> None:
+        """Raise ``RuntimeError`` when the accounting is inconsistent.
+
+        Cheap shutdown invariant (a handful of sums, run once per
+        scheduler run): every counter is monotone non-negative, and the
+        two per-X breakdowns each re-total to ``broadcasts`` — a split
+        that drifts (like the ack/correction split regression this guards
+        against) means some path recorded a broadcast twice or not at all.
+        """
+        for name in self._COUNTERS:
+            value = getattr(self, name)
+            if value < 0:
+                raise RuntimeError(
+                    f"RunStats.{name} went negative ({value}): "
+                    f"counter decremented or double-counted"
+                )
+        if len(self.broadcasts_per_round) != self.rounds:
+            raise RuntimeError(
+                f"RunStats tracked {len(self.broadcasts_per_round)} round "
+                f"buckets over {self.rounds} rounds"
+            )
+        if any(count < 0 for count in self.broadcasts_per_round):
+            raise RuntimeError("RunStats.broadcasts_per_round went negative")
+        per_round = sum(self.broadcasts_per_round)
+        if per_round != self.broadcasts:
+            raise RuntimeError(
+                f"RunStats per-round broadcasts ({per_round}) disagree with "
+                f"the total ({self.broadcasts}): a send was recorded "
+                f"outside start_round bookkeeping"
+            )
+        if any(count < 0 for count in self.broadcasts_per_node.values()):
+            raise RuntimeError("RunStats.broadcasts_per_node went negative")
+        per_node = sum(self.broadcasts_per_node.values())
+        if per_node != self.broadcasts:
+            raise RuntimeError(
+                f"RunStats per-node broadcasts ({per_node}) disagree with "
+                f"the total ({self.broadcasts})"
+            )
+        if self.convergence is not None:
+            self.convergence.check_invariants()
 
     @property
     def max_node_broadcasts(self) -> int:

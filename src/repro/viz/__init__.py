@@ -2,6 +2,7 @@
 
 from .ascii_render import render_network, render_result
 from .export import export_nodes_csv, export_result_json, result_to_dict
+from .trace import render_trace_summary
 
 __all__ = [
     "render_network",
@@ -9,4 +10,5 @@ __all__ = [
     "export_nodes_csv",
     "export_result_json",
     "result_to_dict",
+    "render_trace_summary",
 ]

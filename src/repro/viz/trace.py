@@ -1,0 +1,71 @@
+"""ASCII rendering of a traced run's per-phase metrics.
+
+:func:`render_trace_summary` turns a
+:class:`~repro.observability.metrics.MetricsReport` into the fixed-width
+table the observability CLI prints — one row per protocol phase with
+message counts, timing and convergence-latency percentiles, plus a totals
+line carrying the run-level counters (suppressed corrections, timer fires,
+crash transitions).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.metrics import MetricsReport
+
+__all__ = ["render_trace_summary"]
+
+_COLUMNS = (
+    ("phase", 7), ("bcast", 7), ("corr", 6), ("retry", 6), ("drop", 6),
+    ("deliv", 7), ("window", 13), ("front", 6), ("maxnode", 7),
+    ("p50", 6), ("p90", 6), ("max", 6),
+)
+
+
+def _row(cells: List[str]) -> str:
+    return "  ".join(
+        cell.rjust(width) if i else cell.ljust(width)
+        for i, ((_, width), cell) in enumerate(zip(_COLUMNS, cells))
+    )
+
+
+def _fmt(value: float) -> str:
+    """Compact number: integral virtual times drop the trailing .0."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def render_trace_summary(report: "MetricsReport") -> str:
+    """A per-phase table plus a totals line for one traced run."""
+    lines = [_row([name for name, _ in _COLUMNS])]
+    for p in report.phases:
+        window = f"{_fmt(p.first_time)}..{_fmt(p.last_time)}"
+        lines.append(_row([
+            p.phase, str(p.broadcasts), str(p.corrections), str(p.retries),
+            str(p.drops), str(p.deliveries), window, str(p.peak_frontier),
+            str(p.max_node_sends), _fmt(p.latency_p50), _fmt(p.latency_p90),
+            _fmt(p.latency_max),
+        ]))
+    totals = (
+        f"total: broadcasts={report.total_broadcasts} "
+        f"corrections={report.total_corrections} "
+        f"retries={report.total_retries} drops={report.total_drops} "
+        f"on_air={report.total_on_air} "
+        f"amplification={report.retry_amplification:.3f}"
+    )
+    lines.append(totals)
+    extras = []
+    if report.suppressed_corrections:
+        extras.append(f"suppressed={report.suppressed_corrections}")
+    if report.timer_fires:
+        extras.append(f"timer_fires={report.timer_fires}")
+    if report.crashes or report.recoveries:
+        extras.append(f"crashes={report.crashes} recoveries={report.recoveries}")
+    if report.site_windows:
+        extras.append(f"site_floods={len(report.site_windows)}")
+    if extras:
+        lines.append("run:   " + " ".join(extras))
+    return "\n".join(lines)

@@ -1,14 +1,18 @@
 """Property-based correctness harness over random deployments (hypothesis).
 
-Three invariant families, each fuzzed across random UDG/QUDG deployments
-rather than a handful of fixed seeds:
+Four invariant families, each fuzzed across random UDG/QUDG/log-normal
+deployments rather than a handful of fixed seeds:
 
 * **Theorem 4** — every Voronoi cell induces a connected subgraph, for any
   site set, on any connected deployment;
 * **backend equivalence** — the vectorized CSR traversal backend is
-  bit-identical to the pure-Python reference on every stage-1/-2 artifact;
+  bit-identical to the pure-Python reference on every stage-1/-2 artifact,
+  across all three radio models;
 * **distributed equivalence** — the message-passing protocols over a
-  zero-drop fault fabric elect exactly the centralized critical nodes.
+  zero-drop fault fabric elect exactly the centralized critical nodes;
+* **tracing purity** — attaching a tracer never changes a run: results
+  and ``RunStats`` are bit-identical with and without one, on the
+  synchronous, lossy and asynchronous fabrics alike.
 
 Networks are kept small (≤ ~140 nodes) so each example stays fast; the
 fixed-seed equivalence suite (``test_traversal_engine``) covers the large
@@ -25,26 +29,42 @@ from repro.core.identification import find_critical_nodes
 from repro.core.neighborhood import compute_indices
 from repro.core.voronoi import build_voronoi
 from repro.geometry import make_field
-from repro.network import QuasiUnitDiskRadio, UnitDiskRadio, build_network
+from repro.network import (
+    LogNormalRadio,
+    QuasiUnitDiskRadio,
+    UnitDiskRadio,
+    build_network,
+)
 from repro.network.deployment import uniform_deployment
-from repro.runtime import FaultPlan, RetryPolicy
+from repro.observability import Tracer
+from repro.runtime import FaultPlan, LatencyModel, RetryPolicy
 
 SHAPES = ("rectangle", "annulus", "cross")
+RADIO_KINDS = ("udg", "qudg", "lognormal")
 
 deployment_seeds = st.integers(min_value=0, max_value=10_000)
 shapes = st.sampled_from(SHAPES)
 qudg = st.booleans()
+radio_kinds = st.sampled_from(RADIO_KINDS)
 
 
-def fuzz_network(shape, seed, use_qudg, n=120, radio_range=5.0):
+def _radio(kind, radio_range):
+    if kind == "qudg":
+        return QuasiUnitDiskRadio(radio_range, alpha=0.4, p=0.3)
+    if kind == "lognormal":
+        return LogNormalRadio(radio_range, epsilon=1.0)
+    return UnitDiskRadio(radio_range)
+
+
+def fuzz_network(shape, seed, use_qudg, n=120, radio_range=5.0,
+                 radio_kind=None):
     """A random connected deployment (largest component of a random drop)."""
     field = make_field(shape)
     rng = random.Random(seed)
     positions = uniform_deployment(field, n, rng=rng)
-    radio = (
-        QuasiUnitDiskRadio(radio_range, alpha=0.4, p=0.3)
-        if use_qudg else UnitDiskRadio(radio_range)
-    )
+    if radio_kind is None:
+        radio_kind = "qudg" if use_qudg else "udg"
+    radio = _radio(radio_kind, radio_range)
     network = build_network(positions, radio=radio, field=field, rng=rng)
     return network.largest_component_subgraph()
 
@@ -75,10 +95,10 @@ class TestTheorem4:
 
 
 class TestBackendEquivalence:
-    @given(shapes, deployment_seeds, qudg)
+    @given(shapes, deployment_seeds, radio_kinds)
     @settings(max_examples=15, deadline=None)
-    def test_stage_artifacts_bit_identical(self, shape, seed, use_qudg):
-        network = fuzz_network(shape, seed, use_qudg)
+    def test_stage_artifacts_bit_identical(self, shape, seed, radio_kind):
+        network = fuzz_network(shape, seed, False, radio_kind=radio_kind)
         reference = SkeletonParams(backend="reference")
         vectorized = SkeletonParams(backend="vectorized")
         data_ref = compute_indices(network, reference)
@@ -118,3 +138,48 @@ class TestDistributedEquivalence:
         assert outcome.critical_nodes == centralized
         assert outcome.stats.retries == 0
         assert outcome.stats.drops == 0
+
+
+class TestTracingPurity:
+    """Observational purity: a tracer records and never perturbs.
+
+    Each example runs the distributed stages twice — tracer attached and
+    not — on the same deployment and fabric, and requires bit-identical
+    per-node outcomes and run statistics.  The tracer additionally must
+    agree with the stats it shadowed.
+    """
+
+    FABRICS = ("sync", "lossy", "async")
+
+    @staticmethod
+    def _fabric_kwargs(fabric, fault_seed):
+        if fabric == "lossy":
+            return dict(
+                fault_plan=FaultPlan(seed=fault_seed, drop_probability=0.2),
+                retry_policy=RetryPolicy(max_retries=3),
+                deadline_action="return_partial",
+            )
+        if fabric == "async":
+            return dict(
+                scheduler="async",
+                latency=LatencyModel.uniform_jitter(0.5, seed=fault_seed),
+            )
+        return {}
+
+    @given(shapes, deployment_seeds, st.sampled_from(FABRICS),
+           st.integers(min_value=0, max_value=999))
+    @settings(max_examples=12, deadline=None)
+    def test_tracer_never_changes_the_run(self, shape, seed, fabric,
+                                          fault_seed):
+        network = fuzz_network(shape, seed, use_qudg=False, n=90)
+        kwargs = self._fabric_kwargs(fabric, fault_seed)
+        tracer = Tracer()
+        plain = run_distributed_stages(network, **kwargs)
+        traced = run_distributed_stages(network, tracer=tracer, **kwargs)
+        assert traced.khop_sizes == plain.khop_sizes
+        assert traced.index == plain.index
+        assert traced.critical_nodes == plain.critical_nodes
+        assert traced.site_records == plain.site_records
+        assert traced.stats == plain.stats
+        sends = sum(tracer.query().messages_by_phase().values())
+        assert sends == traced.stats.broadcasts

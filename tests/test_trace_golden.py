@@ -1,0 +1,155 @@
+"""Golden trace regression: per-phase message counts on the Window scenario.
+
+The committed snapshot (``tests/golden/trace_window.json``) pins the exact
+per-phase broadcast counts, per-node budgets and frontier widths of the
+distributed stages on both schedulers.  Any change to protocol logic,
+scheduler delivery order, or phase sequencing that shifts even one
+broadcast between phases fails here — with a diff small enough to read.
+
+The snapshot also feeds trace-derived Theorem 5 assertions: the paper's
+bounds re-checked against the *recorded* traffic rather than the
+aggregate counters, so the two accounting paths cross-validate.
+
+Regenerate (only after an intentional protocol change) by running::
+
+    PYTHONPATH=src python -m tests.test_trace_golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import SkeletonParams, run_distributed_stages
+from repro.network import get_scenario
+from repro.observability import Tracer
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "trace_window.json"
+PHASES = ("nbr", "size", "index", "site")
+
+
+def _load_golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _traced_window_run(scheduler: str):
+    golden = _load_golden()
+    network = get_scenario(golden["scenario"]).build(
+        seed=golden["seed"], num_nodes=golden["num_nodes"]
+    )
+    tracer = Tracer(record_events=False)
+    outcome = run_distributed_stages(network, scheduler=scheduler,
+                                     tracer=tracer)
+    return golden, network, tracer.metrics(), outcome
+
+
+@pytest.fixture(scope="module")
+def sync_run():
+    return _traced_window_run("sync")
+
+
+@pytest.fixture(scope="module")
+def async_run():
+    return _traced_window_run("async")
+
+
+class TestGoldenSnapshot:
+    def test_deployment_unchanged(self, sync_run):
+        golden, network, _, _ = sync_run
+        assert network.num_nodes == golden["built_nodes"]
+
+    @pytest.mark.parametrize("scheduler", ["sync", "async"])
+    def test_per_phase_broadcasts_pinned(self, scheduler, sync_run, async_run):
+        golden, _, report, _ = sync_run if scheduler == "sync" else async_run
+        expected = golden[scheduler]
+        assert report.phase_broadcasts() == expected["phase_broadcasts"]
+        assert report.total_broadcasts == expected["total_broadcasts"]
+
+    @pytest.mark.parametrize("scheduler", ["sync", "async"])
+    def test_per_node_budgets_pinned(self, scheduler, sync_run, async_run):
+        golden, _, report, _ = sync_run if scheduler == "sync" else async_run
+        expected = golden[scheduler]
+        by_phase = report.by_phase()
+        for phase in PHASES:
+            assert by_phase[phase].max_node_sends \
+                == expected["max_node_sends"][phase], phase
+            assert by_phase[phase].peak_frontier \
+                == expected["peak_frontier"][phase], phase
+
+    def test_sync_round_count_pinned(self, sync_run):
+        golden, _, _, outcome = sync_run
+        assert outcome.stats.rounds == golden["sync"]["rounds"]
+
+    def test_async_virtual_time_pinned(self, async_run):
+        golden, _, _, outcome = async_run
+        assert outcome.stats.convergence.virtual_time \
+            == golden["async"]["virtual_time"]
+
+    def test_schedulers_agree_phase_for_phase(self, sync_run, async_run):
+        _, _, sync_report, _ = sync_run
+        _, _, async_report, _ = async_run
+        assert sync_report.phase_broadcasts() \
+            == async_report.phase_broadcasts()
+
+
+class TestTraceDerivedTheorem5:
+    """The paper's bounds, re-measured from the trace aggregates."""
+
+    @pytest.mark.parametrize("scheduler", ["sync", "async"])
+    def test_per_phase_budgets(self, scheduler, sync_run, async_run):
+        _, network, report, _ = sync_run if scheduler == "sync" else async_run
+        params = SkeletonParams()
+        n = network.num_nodes
+        by_phase = report.by_phase()
+        budgets = {"nbr": params.k, "size": params.l,
+                   "index": params.local_max_hops, "site": 1}
+        for phase, budget in budgets.items():
+            metrics = by_phase[phase]
+            assert metrics.max_node_sends <= budget, phase
+            assert metrics.broadcasts <= budget * n, phase
+
+    @pytest.mark.parametrize("scheduler", ["sync", "async"])
+    def test_total_bound(self, scheduler, sync_run, async_run):
+        _, network, report, _ = sync_run if scheduler == "sync" else async_run
+        params = SkeletonParams()
+        bound = params.k + params.l + params.local_max_hops + 1
+        assert report.total_broadcasts <= bound * network.num_nodes
+
+    def test_phases_run_in_pipeline_order(self, sync_run):
+        _, _, report, _ = sync_run
+        assert [p.phase for p in report.phases] == list(PHASES)
+        firsts = [p.first_time for p in report.phases]
+        assert firsts == sorted(firsts)
+
+
+def regenerate() -> None:  # pragma: no cover - manual tool
+    """Rewrite the snapshot from the current implementation."""
+    golden = _load_golden()
+    network = get_scenario(golden["scenario"]).build(
+        seed=golden["seed"], num_nodes=golden["num_nodes"]
+    )
+    golden["built_nodes"] = network.num_nodes
+    for scheduler in ("sync", "async"):
+        tracer = Tracer(record_events=False)
+        outcome = run_distributed_stages(network, scheduler=scheduler,
+                                         tracer=tracer)
+        report = tracer.metrics()
+        entry = {
+            "phase_broadcasts": report.phase_broadcasts(),
+            "total_broadcasts": report.total_broadcasts,
+            "max_node_sends": {p.phase: p.max_node_sends
+                               for p in report.phases},
+            "peak_frontier": {p.phase: p.peak_frontier
+                              for p in report.phases},
+        }
+        if scheduler == "sync":
+            entry["rounds"] = outcome.stats.rounds
+        else:
+            entry["virtual_time"] = outcome.stats.convergence.virtual_time
+        golden[scheduler] = entry
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"rewrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    regenerate()
