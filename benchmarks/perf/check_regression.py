@@ -1,0 +1,104 @@
+"""Non-gating perf-regression guard: diff a fresh BENCH JSON vs a baseline.
+
+Compares every timing the two reports share — traversal stage times per
+(scenario, nodes, backend) for ``BENCH_traversal.json``, per-arm suite
+wall clocks for ``BENCH_parallel.json`` — and *warns* when the fresh
+number is more than ``--threshold`` (default 25%) slower.  Exit code is 0
+regardless unless ``--gate`` is passed: CI machines are noisy and a
+committed baseline may come from different hardware, so the guard
+surfaces drift without blocking merges.
+
+Timings are only comparable when the runs are: scale (and for the suite,
+jobs) must match, or the diff is skipped with a notice.
+
+Usage::
+
+    python -m benchmarks.perf.check_regression BENCH_traversal.json fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+
+def timing_entries(report: Dict) -> Dict[str, float]:
+    """Flatten a bench report into ``label -> seconds`` pairs."""
+    entries: Dict[str, float] = {}
+    for row in report.get("results", ()):  # BENCH_traversal.json shape
+        tag = f"{row['scenario']}/n={row['nodes']}"
+        for backend in ("reference", "vectorized"):
+            stages = row.get(backend, {})
+            for stage in ("stage1_s", "stage2_s"):
+                if stage in stages:
+                    entries[f"{tag}/{backend}/{stage}"] = stages[stage]
+    for arm, data in report.get("arms", {}).items():  # BENCH_parallel.json
+        if "wall_s" in data:
+            entries[f"suite/{arm}/wall_s"] = data["wall_s"]
+    return entries
+
+
+def comparability_error(baseline: Dict, fresh: Dict) -> Optional[str]:
+    """Why the two reports cannot be compared, or None if they can."""
+    for field in ("benchmark", "scale", "seed"):
+        if baseline.get(field) != fresh.get(field):
+            return (f"{field} differs (baseline {baseline.get(field)!r} "
+                    f"vs fresh {fresh.get(field)!r})")
+    base_jobs = baseline.get("arms", {}).get("parallel", {}).get("jobs")
+    fresh_jobs = fresh.get("arms", {}).get("parallel", {}).get("jobs")
+    if base_jobs != fresh_jobs:
+        return f"jobs differs (baseline {base_jobs} vs fresh {fresh_jobs})"
+    return None
+
+
+def check(baseline_path: Path, fresh_path: Path,
+          threshold: float = 0.25) -> Sequence[str]:
+    """The list of regression warnings (empty = all clear)."""
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    reason = comparability_error(baseline, fresh)
+    if reason is not None:
+        print(f"[perf-guard] skipping {fresh_path.name}: {reason}")
+        return []
+    base_times = timing_entries(baseline)
+    fresh_times = timing_entries(fresh)
+    warnings = []
+    for label in sorted(set(base_times) & set(fresh_times)):
+        old, new = base_times[label], fresh_times[label]
+        if old > 0 and new > old * (1.0 + threshold):
+            warnings.append(
+                f"{label}: {old:.4f}s -> {new:.4f}s "
+                f"(+{(new / old - 1.0) * 100:.0f}%, threshold "
+                f"{threshold * 100:.0f}%)"
+            )
+    return warnings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Warn when a fresh bench report regressed vs a baseline.")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative slowdown that triggers a warning")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero on regressions (default: warn only)")
+    args = parser.parse_args(argv)
+    if not args.baseline.is_file():
+        print(f"[perf-guard] no baseline at {args.baseline}; nothing to diff")
+        return 0
+    warnings = check(args.baseline, args.fresh, threshold=args.threshold)
+    if not warnings:
+        print(f"[perf-guard] {args.fresh.name}: no regressions beyond "
+              f"{args.threshold * 100:.0f}%")
+        return 0
+    for line in warnings:
+        print(f"[perf-guard] REGRESSION {line}")
+    return 1 if args.gate else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""Macro-benchmark: the figure suite under the parallel executor + cache.
+
+Times the full figure battery (:func:`repro.experiments.run_figure_suite`)
+in four arms and emits ``BENCH_parallel.json`` at the repository root:
+
+* ``serial`` — the reference arm: one process, no cache;
+* ``parallel`` — the same battery fanned over ``jobs`` worker processes;
+* ``cache_cold`` — serial with a fresh :class:`~repro.perf.ArtifactCache`
+  (pays the cache's bookkeeping, populates both tiers);
+* ``cache_warm`` — serial re-run against the populated cache, which is
+  the regime a figure-iteration loop lives in.
+
+Every arm must be row-for-row identical to the serial reference — the
+bench *asserts* it, because bit-identity is the executor's contract, not
+a best-effort property.  The report records ``cpu_count``: on a
+single-core container the parallel arm cannot beat serial (the workers
+time-slice one CPU and pay pickling on top), so the wall-clock numbers
+are only meaningful alongside the core count they were measured on.  The
+warm-cache arm shows real speedup on any machine — it elides scenario
+construction, k-hop tables, Voronoi floods, medial axes and hole counts.
+
+Run directly::
+
+    python -m benchmarks.perf.parallel_bench --scale 1.0
+
+or through pytest (writes the same JSON)::
+
+    pytest -m perf benchmarks/perf/test_perf_parallel.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import SUITE_RUNNERS, run_figure_suite
+from repro.observability import Tracer, build_metrics
+from repro.perf import ArtifactCache
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+DEFAULT_JOBS = 4
+
+
+def _snapshot(reports) -> List[Tuple]:
+    """The comparable content of a suite run: ids, rows, notes — everything
+    except wall time."""
+    return [(r.experiment_id, r.title, r.rows, r.notes) for r in reports]
+
+
+def _timed_suite(scale: float, seed: int, jobs: int,
+                 runners: Sequence[str],
+                 cache: Optional[ArtifactCache] = None,
+                 tracer: Optional[Tracer] = None) -> Tuple[float, List[Tuple]]:
+    t0 = time.perf_counter()
+    reports = run_figure_suite(scale=scale, seed=seed, jobs=jobs,
+                               cache=cache, tracer=tracer, runners=runners)
+    return time.perf_counter() - t0, _snapshot(reports)
+
+
+def run_parallel_bench(scale: float = 1.0, seed: int = 1,
+                       jobs: int = DEFAULT_JOBS,
+                       runners: Sequence[str] = SUITE_RUNNERS) -> Dict:
+    """Benchmark the four arms and verify bit-identity between them."""
+    runners = tuple(runners)
+    serial_s, reference = _timed_suite(scale, seed, 1, runners)
+    parallel_s, parallel_rows = _timed_suite(scale, seed, jobs, runners)
+    assert parallel_rows == reference, (
+        f"jobs={jobs} suite diverged from serial — determinism broken"
+    )
+    with tempfile.TemporaryDirectory(prefix="repro_bench_cache_") as tmp:
+        cache = ArtifactCache(disk_dir=tmp)
+        cold_s, cold_rows = _timed_suite(scale, seed, 1, runners, cache=cache)
+        assert cold_rows == reference, (
+            "cold-cache suite diverged from serial — caching broke a stage"
+        )
+        cold_hit_rate = cache.hit_rate
+        warm_tracer = Tracer(record_events=False)
+        warm_s, warm_rows = _timed_suite(scale, seed, 1, runners,
+                                         cache=cache, tracer=warm_tracer)
+        assert warm_rows == reference, (
+            "warm-cache suite diverged from serial — a stale hit leaked"
+        )
+        warm_metrics = build_metrics(warm_tracer)
+        warm_stats = cache.stats()
+    return {
+        "benchmark": "figure-suite executor + artifact cache",
+        "protocol": ("one run per arm; every arm asserted row-identical "
+                     "to the serial reference"),
+        "scale": scale,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "runners": list(runners),
+        "suite_rows": sum(len(rows) for _, _, rows, _ in reference),
+        "arms": {
+            "serial": {"wall_s": round(serial_s, 3)},
+            "parallel": {
+                "wall_s": round(parallel_s, 3),
+                "jobs": jobs,
+                "speedup_vs_serial": round(serial_s / parallel_s, 2),
+                "identical_to_serial": True,
+            },
+            "cache_cold": {
+                "wall_s": round(cold_s, 3),
+                "hit_rate": round(cold_hit_rate, 3),
+                "identical_to_serial": True,
+            },
+            "cache_warm": {
+                "wall_s": round(warm_s, 3),
+                "speedup_vs_serial": round(serial_s / warm_s, 2),
+                # Hit rate over the warm run only, from the run's own
+                # MetricsReport — the acceptance quantity.
+                "hit_rate": round(warm_metrics.cache_hit_rate, 3),
+                "lookups_per_stage": {
+                    stage: dict(hits=warm_metrics.cache_hits.get(stage, 0),
+                                misses=warm_metrics.cache_misses.get(stage, 0))
+                    for stage in sorted(set(warm_metrics.cache_hits)
+                                        | set(warm_metrics.cache_misses))
+                },
+                "identical_to_serial": True,
+            },
+        },
+        "cache_stats_cumulative": warm_stats,
+    }
+
+
+def write_report(report: Dict, path: Optional[Path] = None) -> Path:
+    path = path if path is not None else OUTPUT_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the figure suite: serial vs parallel vs cached.")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--runners", nargs="*", default=None,
+                        metavar="RUNNER", help=f"subset of {SUITE_RUNNERS}")
+    args = parser.parse_args(argv)
+    report = run_parallel_bench(scale=args.scale, seed=args.seed,
+                                jobs=args.jobs,
+                                runners=args.runners or SUITE_RUNNERS)
+    path = write_report(report)
+    arms = report["arms"]
+    print(f"cpu_count={report['cpu_count']}  rows={report['suite_rows']}")
+    print(f"serial      {arms['serial']['wall_s']:8.1f}s")
+    print(f"parallel    {arms['parallel']['wall_s']:8.1f}s "
+          f"(jobs={arms['parallel']['jobs']}, "
+          f"{arms['parallel']['speedup_vs_serial']:.2f}x)")
+    print(f"cache cold  {arms['cache_cold']['wall_s']:8.1f}s "
+          f"(hit rate {arms['cache_cold']['hit_rate']:.2f})")
+    print(f"cache warm  {arms['cache_warm']['wall_s']:8.1f}s "
+          f"({arms['cache_warm']['speedup_vs_serial']:.2f}x, "
+          f"hit rate {arms['cache_warm']['hit_rate']:.2f})")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..network.graph import SensorNetwork
+from ..network.graph import SensorNetwork, UNREACHED
 from .params import SkeletonParams
 from .voronoi import SitePair, VoronoiDecomposition
 
@@ -109,16 +109,50 @@ def _path_edges(path: Sequence[int]) -> List[SkeletonEdge]:
     return [frozenset((path[i], path[i + 1])) for i in range(len(path) - 1)]
 
 
+def _batched_site_paths(
+    voronoi: VoronoiDecomposition,
+    requests: Dict[int, List[int]],
+    batch_width: Optional[int],
+    tracer=None,
+) -> Dict[Tuple[int, int], List[int]]:
+    """Resolve ``site -> nodes`` path requests with one lockstep parent
+    walk per site row, returning ``(site, node) -> [node, ..., site]``.
+
+    Bit-identical to :meth:`VoronoiDecomposition.path_to_site` per request
+    (the engine kernel reproduces ``path_to_source`` exactly), including
+    the unreached-node error.
+    """
+    engine = voronoi.network.traversal(batch_width)
+    out: Dict[Tuple[int, int], List[int]] = {}
+    for site in sorted(requests):
+        si = voronoi.site_index(site)
+        targets = sorted(set(requests[site]))
+        for node in targets:
+            if voronoi.dist[si, node] == UNREACHED:
+                raise ValueError(f"node {node} was not reached from site {site}")
+        paths = engine.reconstruct_paths(voronoi.parent[si], targets,
+                                         tracer=tracer)
+        for node, path in zip(targets, paths):
+            out[(site, node)] = path
+    return out
+
+
 def build_coarse_skeleton(
     voronoi: VoronoiDecomposition,
     index: Sequence[float],
     params: Optional[SkeletonParams] = None,
+    tracer=None,
 ) -> CoarseSkeleton:
     """Connect all adjacent sites through their best segment nodes.
 
     The connector for a pair is the segment node with the largest index
     among all segment nodes recording both sites (ties broken by node id,
     the discrete stand-in for "the chosen segment node" being unique).
+
+    Path emission is backend-switched: ``"reference"`` walks one parent
+    chain per path endpoint, ``"vectorized"`` groups all endpoints of a
+    site and reconstructs them in one lockstep gather per hop level.  Both
+    produce the same paths node for node.
     """
     params = params if params is not None else SkeletonParams()
     network = voronoi.network
@@ -127,26 +161,49 @@ def build_coarse_skeleton(
     connectors: Dict[SitePair, int] = {}
     pair_paths: Dict[SitePair, List[int]] = {}
 
+    # Pass 1 — pick each pair's connector and record which (site, endpoint)
+    # reverse paths realizing it will need.  ``joined`` marks the two half
+    # paths meeting at a shared connector node (vs at a border edge).
+    plans: List[Tuple[SitePair, Tuple[int, int], Tuple[int, int], bool]] = []
     for pair in voronoi.adjacent_pairs():
         site_a, site_b = pair
         candidates = voronoi.pair_segments.get(pair, [])
         if candidates:
             connector = max(candidates, key=lambda v: (index[v], v))
             connectors[pair] = connector
-            path_a = voronoi.path_to_site(connector, site_a)
-            path_b = voronoi.path_to_site(connector, site_b)
-            # Full site-to-site path: reverse of path_a (site_a .. connector)
-            # followed by path_b (connector .. site_b).
-            full = list(reversed(path_a)) + path_b[1:]
+            plans.append((pair, (site_a, connector), (site_b, connector), True))
         else:
             # Low-density fallback (no segment node on this border): route
             # through the best edge crossing the border.
             border = voronoi.pair_border_edges[pair]
             u, v = max(border, key=lambda e: (index[e[0]] + index[e[1]], e))
             connectors[pair] = u if index[u] >= index[v] else v
-            path_a = voronoi.path_to_site(u, site_a)
-            path_b = voronoi.path_to_site(v, site_b)
-            full = list(reversed(path_a)) + path_b
+            plans.append((pair, (site_a, u), (site_b, v), False))
+
+    # Pass 2 — resolve every reverse path, batched per site row on the
+    # vectorized backend, one chain walk per endpoint on the reference.
+    if params.backend == "vectorized":
+        requests: Dict[int, List[int]] = {}
+        for _, (sa, na), (sb, nb), _joined in plans:
+            requests.setdefault(sa, []).append(na)
+            requests.setdefault(sb, []).append(nb)
+        resolved = _batched_site_paths(
+            voronoi, requests, params.traversal_batch_width, tracer
+        )
+
+        def path_of(site: int, node: int) -> List[int]:
+            return resolved[(site, node)]
+    else:
+        def path_of(site: int, node: int) -> List[int]:
+            return voronoi.path_to_site(node, site)
+
+    for pair, (site_a, node_a), (site_b, node_b), joined in plans:
+        path_a = path_of(site_a, node_a)
+        path_b = path_of(site_b, node_b)
+        # Full site-to-site path: reverse of path_a (site_a .. connector)
+        # followed by path_b (connector .. site_b); a shared connector
+        # endpoint appears once.
+        full = list(reversed(path_a)) + (path_b[1:] if joined else path_b)
         pair_paths[pair] = full
         nodes.update(full)
         edges.update(_path_edges(full))

@@ -149,14 +149,24 @@ def simplify_closed_walk(walk: Sequence[int]) -> List[int]:
 
 
 def hop_clearance(network: SensorNetwork,
-                  boundary_nodes: Set[int]) -> List[int]:
+                  boundary_nodes: Set[int],
+                  engine=None, tracer=None) -> List[int]:
     """Hop distance from every node to the nearest detected boundary node.
 
     The connectivity analogue of the Euclidean distance transform; one
     multi-source BFS.  Nodes unreachable from any boundary node (possible
     only in degenerate networks) get distance ``network.num_nodes``.
+
+    With an *engine* (:class:`repro.network.TraversalEngine`) the merged
+    wave runs on the CSR arrays; BFS distances are unique, so the result
+    is bit-identical to the deque sweep.
     """
     unreached = network.num_nodes
+    if engine is not None:
+        import numpy as np
+
+        dist_arr = engine.min_hop_distance(sorted(boundary_nodes), tracer=tracer)
+        return np.where(dist_arr < 0, unreached, dist_arr).tolist()
     dist = [unreached] * network.num_nodes
     queue = deque()
     for b in boundary_nodes:
@@ -215,13 +225,19 @@ def isoperimetric_ratio(network: SensorNetwork, ordered: Sequence[int],
 
 
 def opposite_width(network: SensorNetwork, ordered: Sequence[int],
-                   samples: int = 6) -> int:
+                   samples: int = 6, engine=None, tracer=None) -> int:
     """Smallest hop distance between opposite points of the cycle.
 
     A braid — two parallel strands closing a long thin cycle — has opposite
     points only a couple of hops apart, whereas a hole-wrapping ring keeps
     them separated by the hole's diameter plus two corridor widths.  This
     catches the rare long braid whose isoperimetric ratio looks genuine.
+
+    The reference path bounds each BFS by the best width so far; that only
+    skips distances which could not lower the minimum (both endpoints sit
+    on the cycle, so every pair distance is at most the cycle length), so
+    the *engine* path — exact distances for all sample pairs in one batched
+    sweep, then the minimum — returns the same value.
     """
     length = len(ordered)
     if length < 4:
@@ -229,6 +245,16 @@ def opposite_width(network: SensorNetwork, ordered: Sequence[int],
     half = length // 2
     count = min(samples, length)
     best = length
+    if engine is not None:
+        starts = [(i * length) // count for i in range(count)]
+        sources = [ordered[s] for s in starts]
+        targets = [ordered[(s + half) % length] for s in starts]
+        dist = engine.hop_distances(sources, tracer=tracer)
+        for i, b in enumerate(targets):
+            d = int(dist[i, b])
+            if d >= 0:
+                best = min(best, d)
+        return best
     for i in range(count):
         start = (i * length) // count
         a = ordered[start]
@@ -366,11 +392,18 @@ class _CycleClassifier:
 
     def __init__(self, network: SensorNetwork, voronoi: VoronoiDecomposition,
                  skeleton_nodes: Set[int], params: SkeletonParams,
-                 boundary_nodes: Set[int]):
+                 boundary_nodes: Set[int], tracer=None):
         self.network = network
         self.params = params
         self.skeleton_nodes = skeleton_nodes
-        self.clearance = hop_clearance(network, boundary_nodes)
+        self.tracer = tracer
+        self.engine = (
+            network.traversal(params.traversal_batch_width)
+            if params.backend == "vectorized" and network.num_nodes
+            else None
+        )
+        self.clearance = hop_clearance(network, boundary_nodes,
+                                       engine=self.engine, tracer=tracer)
         self.witness_records: List[Tuple[int, FrozenSet[int]]] = [
             (w, frozenset(voronoi.sites_recorded_by(w)))
             for w in sorted(voronoi.voronoi_nodes)
@@ -413,7 +446,8 @@ class _CycleClassifier:
                 # Guard against long thin braids: opposite points of a
                 # genuine ring are a hole-diameter apart.
                 median_clr = sorted(self.clearance[v] for v in ordered)[len(ordered) // 2]
-                width = opposite_width(self.network, ordered)
+                width = opposite_width(self.network, ordered,
+                                       engine=self.engine, tracer=self.tracer)
                 is_fake = width < 2 * median_clr + 1
         result = (is_fake, witnesses, ratio)
         self._cache[key] = result
@@ -451,6 +485,7 @@ def identify_loops(
     params: Optional[SkeletonParams] = None,
     boundary_nodes: Optional[Set[int]] = None,
     index: Optional[Sequence[float]] = None,
+    tracer=None,
 ) -> LoopAnalysis:
     """Iteratively open fake loops until only genuine ones remain (Fig. 1e–g).
 
@@ -473,7 +508,8 @@ def identify_loops(
         )
 
     classifier = _CycleClassifier(
-        network, voronoi, set(skeleton.nodes), params, boundary_nodes
+        network, voronoi, set(skeleton.nodes), params, boundary_nodes,
+        tracer=tracer,
     )
 
     graph = nx.Graph()

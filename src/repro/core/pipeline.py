@@ -93,8 +93,11 @@ class SkeletonExtractor:
         result.boundary_nodes       # by-product 2 (Fig. 3b)
     """
 
-    def __init__(self, params: Optional[SkeletonParams] = None):
+    def __init__(self, params: Optional[SkeletonParams] = None, cache=None):
         self.params = params if params is not None else SkeletonParams()
+        #: optional :class:`repro.perf.ArtifactCache` memoizing the
+        #: expensive stage artifacts (indices, voronoi) across extractions.
+        self.cache = cache
 
     def extract(self, network: SensorNetwork,
                 tracer: Optional["Tracer"] = None) -> SkeletonResult:
@@ -111,16 +114,19 @@ class SkeletonExtractor:
 
         # Stage 1 — skeleton node identification (Fig. 1b).
         with stage_span(tracer, "stage1:identification"):
-            index_data = compute_indices(network, params)
+            index_data = compute_indices(network, params,
+                                         cache=self.cache, tracer=tracer)
             critical = find_critical_nodes(network, index_data, params)
 
         # Stage 2 — Voronoi cells and segment nodes (Fig. 1c).
         with stage_span(tracer, "stage2:voronoi"):
-            voronoi = build_voronoi(network, critical, params)
+            voronoi = build_voronoi(network, critical, params,
+                                    cache=self.cache, tracer=tracer)
 
         # Stage 3 — coarse skeleton (Fig. 1d).
         with stage_span(tracer, "stage3:coarse"):
-            coarse = build_coarse_skeleton(voronoi, index_data.index, params)
+            coarse = build_coarse_skeleton(voronoi, index_data.index, params,
+                                           tracer=tracer)
 
         with stage_span(tracer, "stage4:refine"):
             # By-product 2 first (Fig. 3b): the boundary nodes double as the
@@ -133,6 +139,7 @@ class SkeletonExtractor:
             analysis = identify_loops(
                 coarse, voronoi, params,
                 boundary_nodes=boundary, index=index_data.index,
+                tracer=tracer,
             )
             skeleton = refine_skeleton(coarse, analysis, voronoi, params)
 
@@ -155,6 +162,7 @@ class SkeletonExtractor:
 
 def extract_skeleton(network: SensorNetwork,
                      params: Optional[SkeletonParams] = None,
-                     tracer: Optional["Tracer"] = None) -> SkeletonResult:
+                     tracer: Optional["Tracer"] = None,
+                     cache=None) -> SkeletonResult:
     """One-call convenience wrapper around :class:`SkeletonExtractor`."""
-    return SkeletonExtractor(params).extract(network, tracer=tracer)
+    return SkeletonExtractor(params, cache=cache).extract(network, tracer=tracer)

@@ -15,6 +15,7 @@ segment sets.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -109,24 +110,42 @@ class VoronoiDecomposition:
 
 
 def build_voronoi(network: SensorNetwork, sites: Sequence[int],
-                  params: Optional[SkeletonParams] = None) -> VoronoiDecomposition:
+                  params: Optional[SkeletonParams] = None,
+                  cache=None, tracer=None) -> VoronoiDecomposition:
     """Partition *network* into Voronoi cells around *sites*.
 
     Follows Section III-B with exact distances: each node's record set is
     every site within ``alpha`` hops of its best distance; the node's cell
     is its nearest site (lowest id on ties, a deterministic stand-in for
     "first wave to arrive").
+
+    With *cache*, the decomposition is memoized under the graph's content
+    hash, the site set and ``alpha`` (backend excluded — bit-identical by
+    contract).  The cached artifact stores ``network=None`` so the graph is
+    hashed once, never pickled per artifact; the caller's network is
+    rebound on every hit.
     """
     params = params if params is not None else SkeletonParams()
     sites = sorted(set(sites))
     if not sites:
         raise ValueError("at least one site is required")
+    if cache is not None:
+        detached = cache.get_or_build(
+            "voronoi",
+            (network.content_hash(), tuple(sites), params.alpha),
+            lambda: dataclasses.replace(
+                build_voronoi(network, sites, params, tracer=tracer),
+                network=None,
+            ),
+            tracer=tracer,
+        )
+        return dataclasses.replace(detached, network=network)
     if params.backend == "vectorized":
         # Bit-identical to the reference BFS (same dist AND parents), so
         # downstream reverse paths and the coarse skeleton do not change
         # with the backend.
         engine = network.traversal(params.traversal_batch_width)
-        dist, parent = engine.multi_source_distances(sites)
+        dist, parent = engine.multi_source_distances(sites, tracer=tracer)
     else:
         dist, parent = network.multi_source_distances(sites)
 

@@ -3,6 +3,7 @@
 from .harness import ExperimentReport, scaled_nodes
 from .faults import run_fault_degradation
 from .async_jitter import run_async_jitter
+from .suite import SUITE_RUNNERS, run_figure_suite
 from .figures import (
     run_ablations,
     run_baseline_comparison,
@@ -37,6 +38,8 @@ __all__ = [
     "ExperimentReport",
     "scaled_nodes",
     "ALL_RUNNERS",
+    "SUITE_RUNNERS",
+    "run_figure_suite",
     "run_fig1_pipeline",
     "run_fig3_byproducts",
     "run_fig4_scenarios",

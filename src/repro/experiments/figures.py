@@ -37,6 +37,7 @@ from ..network import (
     estimate_range_for_degree,
     get_scenario,
 )
+from ..perf import ParallelRunner, effective_jobs, set_task_context, task_context
 from .harness import ExperimentReport, scaled_nodes
 
 __all__ = [
@@ -59,8 +60,65 @@ FIG4_NAMES = [
 ]
 
 
-def _extract(network, params: Optional[SkeletonParams] = None):
-    return SkeletonExtractor(params).extract(network)
+def _extract(network, params: Optional[SkeletonParams] = None,
+             cache=None, tracer=None):
+    return SkeletonExtractor(params, cache=cache).extract(network, tracer=tracer)
+
+
+def _build(scenario, seed: int, num_nodes: int, radio=None,
+           cache=None, tracer=None):
+    """Build (or fetch) a scenario network, memoized under the full build
+    recipe — the scenario record, seed, node count and radio model."""
+    if cache is None:
+        return scenario.build(seed=seed, radio=radio, num_nodes=num_nodes)
+    return cache.get_or_build(
+        "scenario",
+        (scenario, seed, num_nodes, radio if radio is not None else "default"),
+        lambda: scenario.build(seed=seed, radio=radio, num_nodes=num_nodes),
+        tracer=tracer,
+    )
+
+
+def _medial(scenario, cache=None, tracer=None):
+    """The field's medial-axis approximation, memoized per shape — it is a
+    pure function of the (deterministic) field geometry."""
+    if cache is None:
+        return approximate_medial_axis(scenario.field())
+    return cache.get_or_build(
+        "medial", (scenario.shape,),
+        lambda: approximate_medial_axis(scenario.field()),
+        tracer=tracer,
+    )
+
+
+def _holes(network, cache=None, tracer=None):
+    """Ground-truth hole count, memoized under the graph's content hash."""
+    if cache is None:
+        return preserved_holes(network)
+    return cache.get_or_build(
+        "holes", (network.content_hash(),),
+        lambda: preserved_holes(network),
+        tracer=tracer,
+    )
+
+
+def _cache_dir(cache) -> Optional[str]:
+    """The disk tier's path, for reconstruction inside spawned workers."""
+    if cache is not None and cache.disk_dir is not None:
+        return str(cache.disk_dir)
+    return None
+
+
+def _run_tasks(fn, configs, jobs, cache, tracer):
+    """Fan *configs* over the executor with the runner's cache/tracer
+    installed as the task context; rows return in config order, so the
+    parallel sweep is bit-identical to the serial one."""
+    runner = ParallelRunner(effective_jobs(jobs))
+    previous = set_task_context(cache, tracer)
+    try:
+        return runner.map(fn, configs)
+    finally:
+        set_task_context(*previous)
 
 
 def _grade(network, result, medial_axis=None, holes=None) -> Dict:
@@ -78,11 +136,13 @@ def _grade(network, result, medial_axis=None, holes=None) -> Dict:
     }
 
 
-def run_fig1_pipeline(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
+def run_fig1_pipeline(scale: float = 1.0, seed: int = 1,
+                      cache=None, tracer=None) -> ExperimentReport:
     """Fig. 1 (a)–(h): pipeline stage accounting on the Window network."""
     scenario = get_scenario("window")
-    network = scenario.build(seed=seed, num_nodes=scaled_nodes(scenario.num_nodes, scale))
-    result = _extract(network)
+    network = _build(scenario, seed, scaled_nodes(scenario.num_nodes, scale),
+                     cache=cache, tracer=tracer)
+    result = _extract(network, cache=cache, tracer=tracer)
     report = ExperimentReport(
         "E-FIG1", "pipeline stages on the Window-shaped network (paper: "
         "2592 nodes, avg.deg 5.96)",
@@ -93,16 +153,18 @@ def run_fig1_pipeline(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
     report.add_note(
         f"final skeleton connected={result.skeleton.is_connected()}, "
         f"cycles={result.final_cycle_rank()}, "
-        f"preserved holes={preserved_holes(network)}"
+        f"preserved holes={_holes(network, cache, tracer)}"
     )
     return report
 
 
-def run_fig3_byproducts(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
+def run_fig3_byproducts(scale: float = 1.0, seed: int = 1,
+                        cache=None, tracer=None) -> ExperimentReport:
     """Fig. 3: segmentation and boundary by-products on the Window network."""
     scenario = get_scenario("window")
-    network = scenario.build(seed=seed, num_nodes=scaled_nodes(scenario.num_nodes, scale))
-    result = _extract(network)
+    network = _build(scenario, seed, scaled_nodes(scenario.num_nodes, scale),
+                     cache=cache, tracer=tracer)
+    result = _extract(network, cache=cache, tracer=tracer)
     report = ExperimentReport("E-FIG3", "by-products: segmentation + boundaries")
     segmentation = result.segmentation
     sizes = sorted(segmentation.sizes().values(), reverse=True)
@@ -118,33 +180,52 @@ def run_fig3_byproducts(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
     return report
 
 
+def _fig4_task(config: Dict) -> Dict:
+    """One Fig. 4 scenario, pure in its config — the unit of parallelism."""
+    cache, tracer = task_context(config.get("cache_dir"))
+    scenario = get_scenario(config["name"])
+    network = _build(scenario, config["seed"],
+                     scaled_nodes(scenario.num_nodes, config["scale"]),
+                     cache=cache, tracer=tracer)
+    result = _extract(network, cache=cache, tracer=tracer)
+    medial = _medial(scenario, cache, tracer)
+    grade = _grade(network, result, medial_axis=medial)
+    return dict(
+        scenario=config["name"],
+        paper_ref=scenario.paper_ref,
+        nodes=network.num_nodes,
+        avg_degree=round(network.average_degree, 2),
+        paper_degree=scenario.target_avg_degree,
+        skeleton_nodes=len(result.skeleton.nodes),
+        **grade,
+    )
+
+
 def run_fig4_scenarios(scale: float = 1.0, seed: int = 1,
-                       names: Optional[List[str]] = None) -> ExperimentReport:
-    """Fig. 4 (a)–(j): the ten evaluation scenarios."""
+                       names: Optional[List[str]] = None,
+                       jobs: Optional[int] = None,
+                       cache=None, tracer=None) -> ExperimentReport:
+    """Fig. 4 (a)–(j): the ten evaluation scenarios.
+
+    Scenarios are independent, so with ``jobs > 1`` (or ``REPRO_JOBS``)
+    they fan out over the process pool; rows are merged in scenario-list
+    order either way.
+    """
     report = ExperimentReport(
         "E-FIG4", "skeleton extraction across the paper's ten scenarios",
     )
-    for name in (names if names is not None else FIG4_NAMES):
-        scenario = get_scenario(name)
-        network = scenario.build(
-            seed=seed, num_nodes=scaled_nodes(scenario.num_nodes, scale)
-        )
-        result = _extract(network)
-        medial = approximate_medial_axis(network.field)
-        grade = _grade(network, result, medial_axis=medial)
-        report.add_row(
-            scenario=name,
-            paper_ref=scenario.paper_ref,
-            nodes=network.num_nodes,
-            avg_degree=round(network.average_degree, 2),
-            paper_degree=scenario.target_avg_degree,
-            skeleton_nodes=len(result.skeleton.nodes),
-            **grade,
-        )
+    configs = [
+        {"name": name, "scale": scale, "seed": seed,
+         "cache_dir": _cache_dir(cache)}
+        for name in (names if names is not None else FIG4_NAMES)
+    ]
+    for row in _run_tasks(_fig4_task, configs, jobs, cache, tracer):
+        report.add_row(**row)
     return report
 
 
-def run_fig5_density(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
+def run_fig5_density(scale: float = 1.0, seed: int = 1,
+                     cache=None, tracer=None) -> ExperimentReport:
     """Fig. 5: density sweep on the Window network.
 
     The paper varies the radio range to reach average degrees ≈ 9.95,
@@ -155,12 +236,13 @@ def run_fig5_density(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
     n = scaled_nodes(scenario.num_nodes, scale)
     field = scenario.field()
     report = ExperimentReport("E-FIG5", "effect of node density (Window network)")
-    medial = approximate_medial_axis(field)
+    medial = _medial(scenario, cache, tracer)
     reference = None
     for target in FIG5_DEGREES:
         radio = UnitDiskRadio(estimate_range_for_degree(field, n, target))
-        network = scenario.build(seed=seed, radio=radio, num_nodes=n)
-        result = _extract(network)
+        network = _build(scenario, seed, n, radio=radio,
+                         cache=cache, tracer=tracer)
+        result = _extract(network, cache=cache, tracer=tracer)
         grade = _grade(network, result, medial_axis=medial)
         if reference is None:
             reference = (network, set(result.skeleton.nodes))
@@ -182,14 +264,16 @@ def run_fig5_density(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
     return report
 
 
-def run_fig6_qudg(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
+def run_fig6_qudg(scale: float = 1.0, seed: int = 1,
+                  names: Optional[List[str]] = None,
+                  cache=None, tracer=None) -> ExperimentReport:
     """Fig. 6: robustness under the QUDG radio model (α=0.4, p=0.3)."""
     report = ExperimentReport("E-FIG6", "quasi-unit-disk radio (alpha=0.4, p=0.3)")
-    for name in ("window", "star"):
+    for name in (names if names is not None else ("window", "star")):
         scenario = get_scenario(name)
         n = scaled_nodes(scenario.num_nodes, scale)
         field = scenario.field()
-        medial = approximate_medial_axis(field)
+        medial = _medial(scenario, cache, tracer)
         for model in ("udg", "qudg"):
             if model == "udg":
                 radio = UnitDiskRadio(
@@ -202,8 +286,9 @@ def run_fig6_qudg(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
                     field, n, scenario.target_avg_degree
                 )
                 radio = QuasiUnitDiskRadio(base * 1.5, alpha=0.4, p=0.3)
-            network = scenario.build(seed=seed, radio=radio, num_nodes=n)
-            result = _extract(network)
+            network = _build(scenario, seed, n, radio=radio,
+                             cache=cache, tracer=tracer)
+            result = _extract(network, cache=cache, tracer=tracer)
             grade = _grade(network, result, medial_axis=medial)
             report.add_row(
                 scenario=name, radio=model,
@@ -215,21 +300,26 @@ def run_fig6_qudg(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
     return report
 
 
-def run_fig7_lognormal(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
+def run_fig7_lognormal(scale: float = 1.0, seed: int = 1,
+                       epsilons: Optional[List[float]] = None,
+                       cache=None, tracer=None) -> ExperimentReport:
     """Fig. 7: log-normal shadowing radio, ε = σ/η ∈ {0, 1, 2, 3}."""
     scenario = get_scenario("window")
     n = scaled_nodes(scenario.num_nodes, scale)
     field = scenario.field()
-    medial = approximate_medial_axis(field)
+    medial = _medial(scenario, cache, tracer)
     base_range = estimate_range_for_degree(field, n, FIG7_DEGREES[0])
     report = ExperimentReport(
         "E-FIG7", "log-normal radio on the Window network "
         "(paper degrees 5.19 / 6.92 / 11.54 / 20.69)",
     )
-    for epsilon, paper_degree in zip(FIG7_EPSILONS, FIG7_DEGREES):
+    degree_of = dict(zip(FIG7_EPSILONS, FIG7_DEGREES))
+    for epsilon in (epsilons if epsilons is not None else FIG7_EPSILONS):
+        paper_degree = degree_of.get(epsilon, 0.0)
         radio = LogNormalRadio(base_range, epsilon=epsilon)
-        network = scenario.build(seed=seed, radio=radio, num_nodes=n)
-        result = _extract(network)
+        network = _build(scenario, seed, n, radio=radio,
+                         cache=cache, tracer=tracer)
+        result = _extract(network, cache=cache, tracer=tracer)
         grade = _grade(network, result, medial_axis=medial)
         report.add_row(
             epsilon=epsilon,
@@ -241,14 +331,18 @@ def run_fig7_lognormal(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
     return report
 
 
-def run_fig8_skewed(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
+def run_fig8_skewed(scale: float = 1.0, seed: int = 1,
+                    names: Optional[List[str]] = None,
+                    cache=None, tracer=None) -> ExperimentReport:
     """Fig. 8: skewed node distributions (Window and Star networks)."""
     report = ExperimentReport("E-FIG8", "skewed node distribution")
     for name, scenario in FIG8_SCENARIOS.items():
+        if names is not None and name not in names:
+            continue
         n = scaled_nodes(scenario.num_nodes, scale)
-        network = scenario.build(seed=seed, num_nodes=n)
-        result = _extract(network)
-        medial = approximate_medial_axis(network.field)
+        network = _build(scenario, seed, n, cache=cache, tracer=tracer)
+        result = _extract(network, cache=cache, tracer=tracer)
+        medial = _medial(scenario, cache, tracer)
         grade = _grade(network, result, medial_axis=medial)
         report.add_row(
             scenario=name,
@@ -262,7 +356,8 @@ def run_fig8_skewed(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
 
 
 def run_thm5_complexity(scale: float = 1.0, seed: int = 1,
-                        sizes: Optional[List[int]] = None) -> ExperimentReport:
+                        sizes: Optional[List[int]] = None,
+                        cache=None, tracer=None) -> ExperimentReport:
     """Theorem 5: message and round scaling of the distributed engine."""
     scenario = get_scenario("window")
     params = SkeletonParams()
@@ -276,12 +371,12 @@ def run_thm5_complexity(scale: float = 1.0, seed: int = 1,
     broadcasts: List[float] = []
     rounds: List[float] = []
     for n in sizes:
-        network = scenario.build(seed=seed, num_nodes=n)
+        network = _build(scenario, seed, n, cache=cache, tracer=tracer)
         # Aggregate-only tracer: per-phase broadcast columns at counter cost.
-        tracer = Tracer(record_events=False)
-        outcome = run_distributed_stages(network, params, tracer=tracer)
+        run_tracer = Tracer(record_events=False)
+        outcome = run_distributed_stages(network, params, tracer=run_tracer)
         per_node = messages_per_node(outcome.stats.broadcasts, network.num_nodes)
-        per_phase = tracer.metrics().phase_broadcasts()
+        per_phase = run_tracer.metrics().phase_broadcasts()
         ns.append(network.num_nodes)
         broadcasts.append(outcome.stats.broadcasts)
         rounds.append(outcome.stats.rounds)
@@ -312,19 +407,20 @@ def run_thm5_complexity(scale: float = 1.0, seed: int = 1,
 
 
 def run_sec5b_parameters(scale: float = 1.0, seed: int = 1,
-                         values: Optional[List[int]] = None) -> ExperimentReport:
+                         values: Optional[List[int]] = None,
+                         cache=None, tracer=None) -> ExperimentReport:
     """Section V-B: sensitivity to the k and l parameters."""
     scenario = get_scenario("window")
     n = scaled_nodes(scenario.num_nodes, scale)
-    network = scenario.build(seed=seed, num_nodes=n)
-    medial = approximate_medial_axis(network.field)
-    holes = preserved_holes(network)
+    network = _build(scenario, seed, n, cache=cache, tracer=tracer)
+    medial = _medial(scenario, cache, tracer)
+    holes = _holes(network, cache, tracer)
     report = ExperimentReport(
         "E-SEC5B", "parameter sensitivity: k = l in {2..6} (paper default 4)",
     )
     for value in (values if values is not None else [2, 3, 4, 5, 6]):
         params = SkeletonParams(k=value, l=value)
-        result = _extract(network, params)
+        result = _extract(network, params, cache=cache, tracer=tracer)
         grade = _grade(network, result, medial_axis=medial, holes=holes)
         report.add_row(
             k=value, l=value,
@@ -339,16 +435,17 @@ def run_sec5b_parameters(scale: float = 1.0, seed: int = 1,
 
 
 def run_baseline_comparison(scale: float = 1.0, seed: int = 1,
-                            names: Optional[List[str]] = None) -> ExperimentReport:
+                            names: Optional[List[str]] = None,
+                            cache=None, tracer=None) -> ExperimentReport:
     """E-BASE: proposed vs MAP and CASE, with true and detected boundaries."""
     report = ExperimentReport(
         "E-BASE", "proposed (boundary-free) vs MAP / CASE (boundary-fed)",
     )
     for name in (names if names is not None else ["window", "one_hole"]):
         scenario = get_scenario(name)
-        network = scenario.build(
-            seed=seed, num_nodes=scaled_nodes(scenario.num_nodes, scale)
-        )
+        network = _build(scenario, seed,
+                         scaled_nodes(scenario.num_nodes, scale),
+                         cache=cache, tracer=tracer)
         for row in compare_extractors(network):
             report.add_row(
                 scenario=name,
@@ -364,7 +461,8 @@ def run_baseline_comparison(scale: float = 1.0, seed: int = 1,
     return report
 
 
-def run_ablations(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
+def run_ablations(scale: float = 1.0, seed: int = 1,
+                  cache=None, tracer=None) -> ExperimentReport:
     """E-ABL: design ablations called out in DESIGN.md.
 
     (a) index = (k-hop size + l-centrality)/2 vs raw k-hop size only
@@ -375,15 +473,14 @@ def run_ablations(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
     from ..core.neighborhood import IndexData
 
     scenario = get_scenario("window")
-    network = scenario.build(
-        seed=seed, num_nodes=scaled_nodes(scenario.num_nodes, scale)
-    )
-    holes = preserved_holes(network)
+    network = _build(scenario, seed, scaled_nodes(scenario.num_nodes, scale),
+                     cache=cache, tracer=tracer)
+    holes = _holes(network, cache, tracer)
     report = ExperimentReport("E-ABL", "design ablations (Window network)")
 
     # (a) identification signal.
     params = SkeletonParams()
-    full_index = compute_indices(network, params)
+    full_index = compute_indices(network, params, cache=cache, tracer=tracer)
     raw_only = IndexData(
         khop_sizes=full_index.khop_sizes,
         centrality=full_index.centrality,
@@ -398,7 +495,8 @@ def run_ablations(scale: float = 1.0, seed: int = 1) -> ExperimentReport:
     # (b) loop strategy.
     for strategy in (LoopStrategy.BOUNDARY, LoopStrategy.VORONOI_WITNESS,
                      LoopStrategy.INTERIOR):
-        result = _extract(network, SkeletonParams(loop_strategy=strategy))
+        result = _extract(network, SkeletonParams(loop_strategy=strategy),
+                          cache=cache, tracer=tracer)
         report.add_row(
             ablation="loop_strategy", variant=strategy.value,
             cycles=result.final_cycle_rank(),

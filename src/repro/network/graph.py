@@ -14,6 +14,7 @@ sizes, Voronoi-cell flooding and path reconstruction.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from bisect import bisect_left
 from collections import deque
@@ -111,6 +112,85 @@ class SensorNetwork:
         # invalidation.
         self._csr: Optional[sparse.csr_matrix] = None
         self._engines: Dict[int, "TraversalEngine"] = {}
+        self._content_hash: Optional[str] = None
+
+    # -- serialization ----------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle as compact arrays, not Python object graphs.
+
+        Positions travel as one ``(n, 2)`` float64 array and the adjacency
+        as CSR ``(indptr, indices)`` arrays, so shipping a network to a
+        worker process costs a few contiguous buffers instead of millions
+        of boxed floats and list cells.  The lazy traversal caches are
+        dropped (they are rebuilt on demand, and a worker may never need
+        them).
+        """
+        n = self.num_nodes
+        pos = np.empty((n, 2), dtype=np.float64)
+        for i, p in enumerate(self.positions):
+            pos[i, 0] = p.x
+            pos[i, 1] = p.y
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum([len(nbrs) for nbrs in self.adjacency], out=indptr[1:])
+        indices = np.fromiter(
+            (v for nbrs in self.adjacency for v in nbrs),
+            dtype=np.int64, count=int(indptr[-1]) if n else 0,
+        )
+        return {
+            "positions": pos,
+            "indptr": indptr,
+            "indices": indices,
+            "field": self.field,
+            "radio": self.radio,
+            "content_hash": self._content_hash,
+        }
+
+    def __setstate__(self, state):
+        pos = state["positions"]
+        indptr, indices = state["indptr"], state["indices"]
+        self.positions = [Point(float(x), float(y)) for x, y in pos]
+        self.adjacency = [
+            [int(v) for v in indices[indptr[i]:indptr[i + 1]]]
+            for i in range(len(pos))
+        ]
+        self.field = state["field"]
+        self.radio = state["radio"]
+        self._csr = None
+        self._engines = {}
+        self._content_hash = state.get("content_hash")
+
+    # -- content identity --------------------------------------------------
+
+    def content_hash(self) -> str:
+        """A stable digest of the graph's content (positions + edge list).
+
+        Two networks with the same node positions (in id order) and the
+        same undirected edge set hash identically, regardless of how they
+        were built; any node/edge perturbation changes the digest.  This
+        is the graph half of the artifact-cache key — artifacts keyed by
+        ``(content_hash, params, stage)`` can be reused across runs and
+        processes without risking stale reads.  Computed once and cached
+        (the graph is immutable).
+        """
+        if self._content_hash is None:
+            h = hashlib.sha256()
+            h.update(b"SensorNetwork.v1")
+            h.update(np.int64(self.num_nodes).tobytes())
+            pos = np.empty((self.num_nodes, 2), dtype=np.float64)
+            for i, p in enumerate(self.positions):
+                pos[i, 0] = p.x
+                pos[i, 1] = p.y
+            h.update(np.ascontiguousarray(pos).tobytes())
+            edges = np.array(
+                sorted((u, v) for u in self.nodes()
+                       for v in self.adjacency[u] if u < v),
+                dtype=np.int64,
+            )
+            h.update(edges.tobytes())
+            self._content_hash = h.hexdigest()
+        return self._content_hash
 
     # -- basic accessors --------------------------------------------------
 

@@ -36,7 +36,8 @@ equivalence on random UDG/QUDG networks, including disconnected graphs and
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set, Tuple
+from contextlib import nullcontext
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -44,6 +45,19 @@ from scipy import sparse
 __all__ = ["TraversalEngine", "DEFAULT_BATCH_WIDTH"]
 
 UNREACHED = -1
+
+
+def _span(tracer, name: str):
+    """A wall-clock span over one engine kernel (no-op without a tracer).
+
+    Spans land in the ``traversal`` category, so
+    :class:`~repro.observability.metrics.MetricsReport` breaks the
+    vectorized backend's cost out per kernel just like it does for the
+    message-passing runtimes.
+    """
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(f"traversal:{name}", category="traversal")
 
 DEFAULT_BATCH_WIDTH = 1024
 """Default number of BFS sources expanded per batch (memory knob)."""
@@ -95,20 +109,22 @@ class TraversalEngine:
 
     # -- k-hop sizes and l-centrality -------------------------------------
 
-    def all_khop_sizes(self, k: int, include_self: bool = True) -> np.ndarray:
+    def all_khop_sizes(self, k: int, include_self: bool = True,
+                       tracer=None) -> np.ndarray:
         """``|N_k(p)|`` for every node — batched boolean frontier expansion.
 
         Matches :meth:`SensorNetwork.k_hop_sizes` exactly (integer array).
         """
         if k < 1:
             raise ValueError("k must be at least 1")
-        sizes, _, _ = self._reach_sweep(k, weights=None)
+        with _span(tracer, "all_khop_sizes"):
+            sizes, _, _ = self._reach_sweep(k, weights=None)
         if not include_self:
             sizes = sizes - 1
         return sizes
 
-    def khop_stats(self, k: int, l: int,
-                   include_self: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+    def khop_stats(self, k: int, l: int, include_self: bool = True,
+                   tracer=None) -> Tuple[np.ndarray, np.ndarray]:
         """``(|N_k(p)|, c_l(p))`` for every node.
 
         When ``l == k`` the k-hop reach rows are reused for the centrality
@@ -121,26 +137,28 @@ class TraversalEngine:
         if k < 1 or l < 1:
             raise ValueError("k and l must be at least 1")
         offset = 0 if include_self else -1
-        if l == k:
-            raw, num, cnt = self._reach_sweep(k, weights="row_sizes",
-                                              weight_offset=offset)
-            sizes = raw + offset
-        else:
-            sizes = self.all_khop_sizes(k, include_self=include_self)
-            _, num, cnt = self._reach_sweep(l, weights=sizes)
-        centrality = self._centrality_from(sizes, num, cnt, include_self)
+        with _span(tracer, "khop_stats"):
+            if l == k:
+                raw, num, cnt = self._reach_sweep(k, weights="row_sizes",
+                                                  weight_offset=offset)
+                sizes = raw + offset
+            else:
+                sizes = self.all_khop_sizes(k, include_self=include_self)
+                _, num, cnt = self._reach_sweep(l, weights=sizes)
+            centrality = self._centrality_from(sizes, num, cnt, include_self)
         return sizes, centrality
 
     def l_centrality(self, l: int, khop_sizes: Sequence[int],
-                     include_self: bool = True) -> np.ndarray:
+                     include_self: bool = True, tracer=None) -> np.ndarray:
         """Definition 3 over an arbitrary published size vector."""
         if l < 1:
             raise ValueError("l must be at least 1")
         sizes = np.asarray(khop_sizes, dtype=np.int64)
         if sizes.shape != (self.n,):
             raise ValueError("khop_sizes length must equal the node count")
-        _, num, cnt = self._reach_sweep(l, weights=sizes)
-        return self._centrality_from(sizes, num, cnt, include_self)
+        with _span(tracer, "l_centrality"):
+            _, num, cnt = self._reach_sweep(l, weights=sizes)
+            return self._centrality_from(sizes, num, cnt, include_self)
 
     @staticmethod
     def _centrality_from(sizes: np.ndarray, num: np.ndarray, cnt: np.ndarray,
@@ -239,6 +257,7 @@ class TraversalEngine:
 
     def multi_source_distances(
         self, sources: Sequence[int], blocked: Optional[Set[int]] = None,
+        tracer=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Level-synchronous frontier sweep per site, with parent recording.
 
@@ -248,6 +267,12 @@ class TraversalEngine:
         each newly reached node selects exactly the parent the FIFO
         reference BFS records.
         """
+        with _span(tracer, "multi_source_distances"):
+            return self._multi_source_distances(sources, blocked)
+
+    def _multi_source_distances(
+        self, sources: Sequence[int], blocked: Optional[Set[int]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         m, n = len(sources), self.n
         dist = np.full((m, n), UNREACHED, dtype=np.int32)
         parent = np.full((m, n), -1, dtype=np.int32)
@@ -299,10 +324,132 @@ class TraversalEngine:
             fnode = new_keys - frow * n
         return dist, parent
 
+    # -- distance-only sweeps ----------------------------------------------
+
+    def hop_distances(self, sources: Sequence[int],
+                      tracer=None) -> np.ndarray:
+        """Exact hop distances from each source to every node.
+
+        Distance-only counterpart of :meth:`multi_source_distances` — no
+        parent recording, so the per-level bookkeeping is a plain boolean
+        dedup instead of the ordered first-occurrence scan.  Returns an
+        ``(m, n)`` int32 array with :data:`UNREACHED` where unreached.
+        """
+        with _span(tracer, "hop_distances"):
+            m, n = len(sources), self.n
+            dist = np.full((m, n), UNREACHED, dtype=np.int32)
+            if m == 0 or n == 0:
+                return dist
+            indptr, indices = self._indptr, self._indices
+            dist_flat = dist.reshape(-1)
+            frow = np.arange(m, dtype=np.int64)
+            fnode = np.asarray(sources, dtype=np.int64)
+            dist[frow, fnode] = 0
+            level = 0
+            while frow.size:
+                starts = indptr[fnode]
+                lens = indptr[fnode + 1] - starts
+                total = int(lens.sum())
+                if total == 0:
+                    break
+                seg_ends = np.cumsum(lens)
+                within = np.arange(total) - np.repeat(seg_ends - lens, lens)
+                cand = indices[np.repeat(starts, lens) + within]
+                keys = np.repeat(frow, lens) * n + cand
+                keys = np.unique(keys[dist_flat[keys] == UNREACHED])
+                if keys.size == 0:
+                    break
+                level += 1
+                dist_flat[keys] = level
+                frow = keys // n
+                fnode = keys - frow * n
+            return dist
+
+    def min_hop_distance(self, sources: Sequence[int],
+                         tracer=None) -> np.ndarray:
+        """Hop distance from every node to the nearest of *sources*.
+
+        One merged wave (all sources at distance 0) instead of one wave
+        per source — the vectorized equivalent of the multi-source BFS
+        behind :func:`repro.core.loops.hop_clearance`.  Returns an
+        ``(n,)`` int32 array with :data:`UNREACHED` where no source
+        reaches.
+        """
+        with _span(tracer, "min_hop_distance"):
+            n = self.n
+            dist = np.full(n, UNREACHED, dtype=np.int32)
+            frontier = np.unique(np.asarray(list(sources), dtype=np.int64)) \
+                if len(sources) else np.empty(0, dtype=np.int64)
+            if n == 0 or frontier.size == 0:
+                return dist
+            indptr, indices = self._indptr, self._indices
+            dist[frontier] = 0
+            level = 0
+            while frontier.size:
+                starts = indptr[frontier]
+                lens = indptr[frontier + 1] - starts
+                total = int(lens.sum())
+                if total == 0:
+                    break
+                seg_ends = np.cumsum(lens)
+                within = np.arange(total) - np.repeat(seg_ends - lens, lens)
+                cand = indices[np.repeat(starts, lens) + within]
+                frontier = np.unique(cand[dist[cand] == UNREACHED])
+                if frontier.size == 0:
+                    break
+                level += 1
+                dist[frontier] = level
+            return dist
+
+    # -- batched reverse-path reconstruction -------------------------------
+
+    def reconstruct_paths(self, parent_row: np.ndarray,
+                          nodes: Sequence[int],
+                          tracer=None) -> List[List[int]]:
+        """Walk many parent chains of one BFS row in lockstep.
+
+        Equivalent to calling :meth:`SensorNetwork.path_to_source` once per
+        node, but every step is a single gather across all still-walking
+        paths, so the per-hop cost is one vectorized op instead of one
+        Python loop iteration per path.  Paths are returned in input order,
+        each ``[node, ..., source]`` exactly as the reference produces.
+        """
+        with _span(tracer, "reconstruct_paths"):
+            parent = np.asarray(parent_row, dtype=np.int64)
+            cur = np.asarray(list(nodes), dtype=np.int64)
+            m = cur.size
+            if m == 0:
+                return []
+            alive = np.arange(m, dtype=np.int64)
+            step_idx = [alive]
+            step_col = [cur]
+            # Parent chains are acyclic by construction; n steps is the
+            # longest possible simple path, so more means corrupt input.
+            for _ in range(self.n + 1):
+                nxt = parent[cur]
+                keep = nxt != -1
+                if not keep.any():
+                    break
+                alive = alive[keep]
+                cur = nxt[keep]
+                step_idx.append(alive)
+                step_col.append(cur)
+            else:
+                raise RuntimeError("cycle in parent pointers")
+            idx_all = np.concatenate(step_idx)
+            col_all = np.concatenate(step_col)
+            # Steps were appended in walk order, so a stable sort on the
+            # path index groups each path with its hops still in order.
+            order = np.argsort(idx_all, kind="stable")
+            col_sorted = col_all[order]
+            counts = np.bincount(idx_all, minlength=m)
+            bounds = np.cumsum(counts)[:-1]
+            return [chunk.tolist() for chunk in np.split(col_sorted, bounds)]
+
     # -- local-maxima election --------------------------------------------
 
     def all_local_maxima(self, values: Sequence[float],
-                         hops: int = 1) -> np.ndarray:
+                         hops: int = 1, tracer=None) -> np.ndarray:
         """Boolean mask of nodes whose ``(value, id)`` beats every node
         within *hops* hops — the Definition 5 election for all nodes at
         once.
@@ -319,16 +466,17 @@ class TraversalEngine:
             raise ValueError("values length must equal the node count")
         if n == 0:
             return np.zeros(0, dtype=bool)
-        order = np.lexsort((np.arange(n), vals))
-        rank = np.empty(n, dtype=np.int64)
-        rank[order] = np.arange(n)
-        indptr, indices = self._indptr, self._indices
-        best = rank.copy()
-        if len(indices):
-            seg_starts = np.minimum(indptr[:-1], len(indices) - 1)
-            empty = indptr[:-1] == indptr[1:]
-            for _ in range(hops):
-                seg_max = np.maximum.reduceat(best[indices], seg_starts)
-                seg_max[empty] = -1  # isolated nodes see no neighbours
-                best = np.maximum(best, seg_max)
-        return best == rank
+        with _span(tracer, "all_local_maxima"):
+            order = np.lexsort((np.arange(n), vals))
+            rank = np.empty(n, dtype=np.int64)
+            rank[order] = np.arange(n)
+            indptr, indices = self._indptr, self._indices
+            best = rank.copy()
+            if len(indices):
+                seg_starts = np.minimum(indptr[:-1], len(indices) - 1)
+                empty = indptr[:-1] == indptr[1:]
+                for _ in range(hops):
+                    seg_max = np.maximum.reduceat(best[indices], seg_starts)
+                    seg_max[empty] = -1  # isolated nodes see no neighbours
+                    best = np.maximum(best, seg_max)
+            return best == rank

@@ -10,7 +10,7 @@ pay only counter updates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 __all__ = ["MetricsReport", "PhaseMetrics", "build_metrics", "percentile"]
@@ -82,6 +82,17 @@ class MetricsReport:
     recoveries: int
     #: site id -> (first, last) virtual-time activity of its flood wave.
     site_windows: Mapping[int, Tuple[float, float]]
+    #: artifact-cache lookups per stage (:mod:`repro.perf.cache`).
+    cache_hits: Mapping[str, int] = field(default_factory=dict)
+    cache_misses: Mapping[str, int] = field(default_factory=dict)
+    #: total wall-clock seconds per recorded span name — pipeline stages
+    #: and the vectorized :class:`~repro.network.traversal.TraversalEngine`
+    #: kernels alike, so the report covers the array backend and not just
+    #: the message-passing runtimes.  Excluded from equality: wall time is
+    #: the one non-deterministic quantity in the report, and report
+    #: equality is the determinism contract the tests pin.
+    stage_timings: Mapping[str, float] = field(default_factory=dict,
+                                               compare=False)
 
     def by_phase(self) -> Dict[str, PhaseMetrics]:
         return {p.phase: p for p in self.phases}
@@ -116,6 +127,21 @@ class MetricsReport:
         total = self.total_broadcasts
         return self.total_on_air / total if total else 0.0
 
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(self.cache_hits.values())
+
+    @property
+    def total_cache_misses(self) -> int:
+        return sum(self.cache_misses.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Artifact-cache hit fraction over all lookups (0.0 when the run
+        made none)."""
+        total = self.total_cache_hits + self.total_cache_misses
+        return self.total_cache_hits / total if total else 0.0
+
 
 def build_metrics(tracer) -> MetricsReport:
     """Distil *tracer*'s aggregates into a :class:`MetricsReport`."""
@@ -147,6 +173,10 @@ def build_metrics(tracer) -> MetricsReport:
             latency_p90=percentile(settle, 0.90),
             latency_max=max(settle, default=0.0),
         ))
+    timings: Dict[str, float] = {}
+    for span in tracer.spans:
+        if span.clock == "wall":
+            timings[span.name] = timings.get(span.name, 0.0) + span.duration
     return MetricsReport(
         phases=tuple(phases),
         suppressed_corrections=suppressed,
@@ -154,4 +184,7 @@ def build_metrics(tracer) -> MetricsReport:
         crashes=tracer.crashes,
         recoveries=tracer.recoveries,
         site_windows=tracer.site_windows,
+        cache_hits=dict(tracer.cache_hits),
+        cache_misses=dict(tracer.cache_misses),
+        stage_timings=timings,
     )

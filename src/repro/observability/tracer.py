@@ -176,6 +176,9 @@ class Tracer:
         self.timer_fires = 0
         self.crashes = 0
         self.recoveries = 0
+        #: stage -> artifact-cache lookup counts (fed by ArtifactCache).
+        self.cache_hits: Dict[str, int] = {}
+        self.cache_misses: Dict[str, int] = {}
         self._phases: Dict[str, _PhaseAgg] = {}
         self._sites: Dict[int, Tuple[float, float]] = {}
         self._next_seq = 0
@@ -287,6 +290,17 @@ class Tracer:
         """
         self._agg("").suppressed += 1
         self._record(time, "suppress", node)
+
+    def on_cache(self, stage: str, hit: bool) -> None:
+        """One artifact-cache lookup (:mod:`repro.perf.cache`).
+
+        Counted per stage in both recording modes; cache lookups happen
+        outside any scheduler, so no :class:`TraceEvent` is emitted —
+        the counters surface through
+        :class:`~repro.observability.metrics.MetricsReport`.
+        """
+        counters = self.cache_hits if hit else self.cache_misses
+        counters[stage] = counters.get(stage, 0) + 1
 
     def on_timer(self, node: int, tag: str, time: float) -> None:
         self.timer_fires += 1

@@ -1,0 +1,41 @@
+"""Performance subsystem: batch execution and artifact caching.
+
+Two cooperating layers turn the repository's experiment battery from a
+serial, recompute-everything loop into a production-shaped pipeline:
+
+* :class:`ArtifactCache` — a content-addressed store keyed by
+  ``(graph content hash, params hash, stage)`` that memoizes scenario
+  construction, k-hop neighbourhood tables and Voronoi flood artifacts
+  across runners (in-memory LRU with an optional on-disk tier whose keys
+  are versioned, so stale entries self-invalidate);
+* :class:`ParallelRunner` — fans independent experiment configurations
+  out over a ``ProcessPoolExecutor`` (worker count auto-detected,
+  ``REPRO_JOBS`` override, serial fallback at ``jobs=1``) and merges the
+  results deterministically: output order is the config order, never the
+  completion order, so a parallel run is bit-identical to the serial one.
+
+Cache lookups report hits and misses to the observability
+:class:`~repro.observability.tracer.Tracer`, so a
+:class:`~repro.observability.metrics.MetricsReport` carries the artifact
+cache hit rate next to the message-passing and traversal metrics.
+"""
+
+from .cache import ArtifactCache, CACHE_VERSION, stable_digest
+from .runner import (
+    ParallelRunner,
+    effective_jobs,
+    resolve_jobs,
+    set_task_context,
+    task_context,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_VERSION",
+    "stable_digest",
+    "ParallelRunner",
+    "effective_jobs",
+    "resolve_jobs",
+    "set_task_context",
+    "task_context",
+]

@@ -1,0 +1,246 @@
+"""Content-addressed artifact cache for repeated experiment stages.
+
+Every experiment sweep rebuilds the same inputs over and over: the same
+scenario graph for each (radio, parameter, drop-rate) arm, the same k-hop
+neighbourhood tables for each run on that graph, the same Voronoi flood
+for each downstream ablation.  The cache memoizes those artifacts under a
+key derived purely from *content* — the graph's
+:meth:`~repro.network.graph.SensorNetwork.content_hash`, a stable digest
+of the parameters, and the stage name — so a hit is correct by
+construction: identical key means identical inputs means identical
+artifact.
+
+Two tiers:
+
+* an in-memory LRU (``max_entries``) shared by everything in the process;
+* an optional on-disk store (``.repro_cache/`` by default when enabled)
+  with a byte-size cap, evicting oldest files first.  Disk keys embed
+  :data:`CACHE_VERSION`; bumping the version orphans every stale entry
+  (they simply stop matching and age out under the size cap).
+
+The cache never invalidates by time — content-addressed keys cannot go
+stale while the code that produced them is unchanged, which is exactly
+what :data:`CACHE_VERSION` asserts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ArtifactCache", "CACHE_VERSION", "stable_digest"]
+
+#: Bump when a cached artifact's *meaning* changes (pipeline semantics,
+#: serialization layout).  Old disk entries stop matching immediately.
+CACHE_VERSION = 1
+
+_DEFAULT_MAX_ENTRIES = 256
+_DEFAULT_MAX_DISK_BYTES = 512 * 1024 * 1024
+
+
+def _canonical(obj: Any) -> str:
+    """A deterministic text form of *obj* for hashing.
+
+    Covers the vocabulary cache keys are built from: primitives,
+    sequences, mappings, enums, dataclasses, numpy arrays, and plain
+    objects with a ``__dict__`` (radio models).  Floats go through
+    ``repr`` (round-trip exact), arrays through a digest of their bytes.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, np.ndarray):
+        return (f"ndarray({obj.dtype},{obj.shape},"
+                f"{hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()})")
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={_canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__name__}({fields})"
+    if isinstance(obj, (tuple, list)):
+        return "[" + ",".join(_canonical(v) for v in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(v) for v in obj)) + "}"
+    if isinstance(obj, dict):
+        items = ",".join(
+            f"{_canonical(k)}:{_canonical(v)}" for k, v in sorted(obj.items())
+        )
+        return "{" + items + "}"
+    if hasattr(obj, "__dict__"):
+        items = ",".join(
+            f"{k}={_canonical(v)}" for k, v in sorted(vars(obj).items())
+        )
+        return f"{type(obj).__name__}({items})"
+    raise TypeError(f"cannot build a stable cache key from {type(obj)!r}")
+
+
+def stable_digest(*parts: Any) -> str:
+    """SHA-256 digest over the canonical form of *parts*.
+
+    Process- and run-independent: the same logical inputs always produce
+    the same digest, which is what lets the on-disk tier be shared across
+    worker processes and sessions.
+    """
+    payload = ";".join(_canonical(p) for p in parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """Two-tier (memory LRU + optional disk) content-addressed store.
+
+    Usage::
+
+        cache = ArtifactCache(disk_dir=".repro_cache")
+        indices = cache.get_or_build(
+            "indices", (network.content_hash(), params),
+            lambda: compute_indices(network, params),
+        )
+
+    ``stats()`` reports per-stage hit/miss counts; passing ``tracer=`` to
+    :meth:`get_or_build` additionally streams each lookup into the
+    observability layer.
+    """
+
+    def __init__(self, max_entries: int = _DEFAULT_MAX_ENTRIES,
+                 disk_dir: Optional[os.PathLike] = None,
+                 max_disk_bytes: int = _DEFAULT_MAX_DISK_BYTES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.max_disk_bytes = max_disk_bytes
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def make_key(stage: str, key_parts: Any) -> str:
+        """The full versioned cache key for *stage* and *key_parts*."""
+        return f"{stage}-{stable_digest(CACHE_VERSION, stage, key_parts)}"
+
+    # -- lookups ------------------------------------------------------------
+
+    def get_or_build(self, stage: str, key_parts: Any,
+                     build: Callable[[], Any], tracer=None) -> Any:
+        """Return the cached artifact for ``(stage, key_parts)``, building
+        and storing it on a miss.
+
+        The lookup (hit or miss) is counted per stage and, when *tracer*
+        is given, reported via ``tracer.on_cache`` so the run's
+        :class:`~repro.observability.metrics.MetricsReport` carries the
+        hit rate.
+        """
+        key = self.make_key(stage, key_parts)
+        hit, value = self._lookup(key)
+        if hit:
+            self._hits[stage] = self._hits.get(stage, 0) + 1
+        else:
+            self._misses[stage] = self._misses.get(stage, 0) + 1
+        if tracer is not None:
+            tracer.on_cache(stage, hit)
+        if hit:
+            return value
+        value = build()
+        self._store(key, value)
+        return value
+
+    def _lookup(self, key: str) -> Tuple[bool, Any]:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True, self._entries[key]
+        if self.disk_dir is not None:
+            path = self.disk_dir / f"{key}.pkl"
+            if path.is_file():
+                try:
+                    with path.open("rb") as fh:
+                        value = pickle.load(fh)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    # A torn write (e.g. two processes racing) is treated
+                    # as a miss; the rebuilt artifact overwrites it.
+                    return False, None
+                self._remember(key, value)
+                return True, value
+        return False, None
+
+    def _store(self, key: str, value: Any) -> None:
+        self._remember(key, value)
+        if self.disk_dir is not None:
+            path = self.disk_dir / f"{key}.pkl"
+            tmp = path.with_suffix(".tmp%d" % os.getpid())
+            try:
+                with tmp.open("wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                tmp.replace(path)  # atomic publish
+            except OSError:  # pragma: no cover - disk full / permissions
+                tmp.unlink(missing_ok=True)
+                return
+            self._enforce_disk_cap()
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def _enforce_disk_cap(self) -> None:
+        assert self.disk_dir is not None
+        files = sorted(
+            (p for p in self.disk_dir.glob("*.pkl")),
+            key=lambda p: p.stat().st_mtime,
+        )
+        total = sum(p.stat().st_size for p in files)
+        while files and total > self.max_disk_bytes:
+            oldest = files.pop(0)
+            try:
+                total -= oldest.stat().st_size
+                oldest.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage ``{"hits": .., "misses": ..}`` counts so far."""
+        stages = sorted(set(self._hits) | set(self._misses))
+        return {
+            stage: {
+                "hits": self._hits.get(stage, 0),
+                "misses": self._misses.get(stage, 0),
+            }
+            for stage in stages
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        hits = sum(self._hits.values())
+        total = hits + sum(self._misses.values())
+        return hits / total if total else 0.0
+
+    def clear(self, memory_only: bool = False) -> None:
+        """Drop cached entries (and disk files unless *memory_only*)."""
+        self._entries.clear()
+        if not memory_only and self.disk_dir is not None:
+            for path in self.disk_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover
+                    pass
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,142 @@
+"""Deterministic process-pool fan-out for independent experiment configs.
+
+:class:`ParallelRunner` executes a task function over a list of
+configurations, either serially (``jobs=1``) or on a
+``ProcessPoolExecutor``.  The contract that makes parallelism safe to
+wire into the experiment battery is *determinism*: results come back in
+config order — never completion order — and the task functions are pure
+functions of their config, so a parallel run is bit-identical to the
+serial one row for row.
+
+Configs and results cross the process boundary via pickle;
+:class:`~repro.network.graph.SensorNetwork` ships as compact arrays
+(positions matrix + CSR index arrays) rather than boxed Python object
+graphs, so handing a 3k-node scenario to a worker costs a few contiguous
+buffers.
+
+Worker count resolution: an explicit ``jobs=`` wins, then the
+``REPRO_JOBS`` environment variable, then auto-detection from
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["ParallelRunner", "resolve_jobs", "effective_jobs",
+           "set_task_context", "task_context"]
+
+_JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count: explicit > ``REPRO_JOBS`` > auto.
+
+    Always at least 1; auto-detection uses ``os.cpu_count()`` (a single
+    core degenerates to the serial path, which is exactly right there).
+    """
+    if jobs is None:
+        env = os.environ.get(_JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{_JOBS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    return jobs
+
+
+def effective_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count for sweep *runners* (vs :func:`resolve_jobs` for the
+    executor itself): an explicit ``jobs=`` or a set ``REPRO_JOBS`` opts
+    in; otherwise stay serial.  A library call that did not ask for
+    parallelism must not silently fork — tests and embedding code rely on
+    single-process execution by default.
+    """
+    if jobs is not None:
+        return resolve_jobs(jobs)
+    if os.environ.get(_JOBS_ENV, "").strip():
+        return resolve_jobs(None)
+    return 1
+
+
+# The cache/tracer a sweep runner was called with, made visible to its task
+# function: directly when the task runs inline (jobs=1), and as a fork-time
+# snapshot in pool workers on fork platforms (reads of the warmed in-memory
+# tier still hit; worker-side writes stay worker-local, which is sound
+# because tasks are pure).  On spawn platforms workers see None and fall
+# back to the config's ``cache_dir`` — the disk tier is the shared medium.
+_task_cache = None
+_task_tracer = None
+
+
+def set_task_context(cache=None, tracer=None):
+    """Install the context task functions read; returns the previous pair
+    so callers can restore it in a ``finally``."""
+    global _task_cache, _task_tracer
+    previous = (_task_cache, _task_tracer)
+    _task_cache, _task_tracer = cache, tracer
+    return previous
+
+
+def task_context(cache_dir=None):
+    """The ``(cache, tracer)`` for the currently executing task.
+
+    Inside a worker that inherited no context, a *cache_dir* (threaded
+    through the pickled config) reconstructs a disk-backed cache so
+    parallel tasks still share artifacts.
+    """
+    cache, tracer = _task_cache, _task_tracer
+    if cache is None and cache_dir is not None:
+        from .cache import ArtifactCache
+
+        cache = ArtifactCache(disk_dir=cache_dir)
+    return cache, tracer
+
+
+class ParallelRunner:
+    """Fan a pure task function out over configs, results in config order.
+
+    ``jobs=1`` (or a single-core machine under auto-detection) runs the
+    tasks inline — no executor, no pickling — which is both the fallback
+    and the reference behaviour the parallel path must reproduce
+    bit-identically.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+
+    def map(self, fn: Callable[[Any], Any],
+            configs: Sequence[Any]) -> List[Any]:
+        """Run ``fn(config)`` for every config; results in input order.
+
+        *fn* must be a module-level callable (picklable) and must not
+        depend on shared mutable state — each worker process runs with
+        its own copy of everything.
+        """
+        configs = list(configs)
+        if self.jobs == 1 or len(configs) <= 1:
+            return [fn(c) for c in configs]
+        workers = min(self.jobs, len(configs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves submission order, so the result list
+            # is ordered by config regardless of completion interleaving.
+            return list(pool.map(fn, configs))
+
+    def run_keyed(self, fn: Callable[[Any], Any],
+                  items: Sequence[Tuple[Any, Any]]) -> List[Tuple[Any, Any]]:
+        """Run ``fn(config)`` over ``(key, config)`` pairs, sorted by key.
+
+        The merge contract of every sweep runner: output is ordered by
+        config key, so serial and parallel runs produce the same list.
+        """
+        ordered = sorted(items, key=lambda kv: kv[0])
+        results = self.map(fn, [config for _, config in ordered])
+        return [(key, result) for (key, _), result in zip(ordered, results)]

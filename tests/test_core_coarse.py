@@ -74,3 +74,32 @@ class TestCoarseSkeleton:
         g = coarse.to_networkx()
         assert g.number_of_nodes() == len(coarse.nodes)
         assert g.number_of_edges() == len(coarse.edges)
+
+
+class TestBackendBitIdentity:
+    """The vectorized batched path emission must reproduce the reference
+    per-path walk exactly — same connectors, same pair paths, same edges."""
+
+    @pytest.fixture(scope="class", params=["rectangle", "annulus"])
+    def both_backends(self, request, rectangle_network, annulus_network):
+        network = {"rectangle": rectangle_network,
+                   "annulus": annulus_network}[request.param]
+        results = {}
+        for backend in ("reference", "vectorized"):
+            params = SkeletonParams(backend=backend)
+            data = compute_indices(network, params)
+            critical = find_critical_nodes(network, data, params)
+            voronoi = build_voronoi(network, critical, params)
+            results[backend] = build_coarse_skeleton(voronoi, data.index, params)
+        return results
+
+    def test_nodes_edges_identical(self, both_backends):
+        ref, vec = both_backends["reference"], both_backends["vectorized"]
+        assert vec.nodes == ref.nodes
+        assert vec.edges == ref.edges
+        assert vec.sites == ref.sites
+
+    def test_connectors_and_paths_identical(self, both_backends):
+        ref, vec = both_backends["reference"], both_backends["vectorized"]
+        assert vec.connectors == ref.connectors
+        assert vec.pair_paths == ref.pair_paths

@@ -136,3 +136,43 @@ class TestEndToEndLoops:
             SkeletonParams(loop_strategy=LoopStrategy.INTERIOR)
         ).extract(annulus_network)
         assert result.skeleton.is_connected()
+
+
+class TestBackendBitIdentity:
+    """The CSR engine ports of the loop scans must equal the references."""
+
+    def test_hop_clearance_engine_matches_reference(self, annulus_network):
+        net = annulus_network
+        boundary = set(list(net.nodes())[::7])
+        engine = net.traversal()
+        assert hop_clearance(net, boundary, engine=engine) == \
+            hop_clearance(net, boundary)
+
+    def test_hop_clearance_engine_empty_boundary(self, annulus_network):
+        engine = annulus_network.traversal()
+        assert hop_clearance(annulus_network, set(), engine=engine) == \
+            hop_clearance(annulus_network, set())
+
+    def test_opposite_width_engine_matches_reference(self, annulus_result):
+        net = annulus_result.network
+        engine = net.traversal()
+        for loop in annulus_result.loop_analysis.loops:
+            ordered = loop.ordered
+            if len(ordered) < 4:
+                continue
+            for samples in (4, 6, 9):
+                assert opposite_width(net, ordered, samples=samples,
+                                      engine=engine) == \
+                    opposite_width(net, ordered, samples=samples)
+
+    def test_identify_loops_identical_across_backends(self, annulus_network):
+        outcomes = {}
+        for backend in ("reference", "vectorized"):
+            params = SkeletonParams(backend=backend)
+            result = SkeletonExtractor(params).extract(annulus_network)
+            outcomes[backend] = result.loop_analysis
+        ref, vec = outcomes["reference"], outcomes["vectorized"]
+        assert vec.kept_pairs == ref.kept_pairs
+        assert vec.removed_pairs == ref.removed_pairs
+        assert [(l.ordered, l.is_fake, l.iso_ratio) for l in vec.loops] == \
+            [(l.ordered, l.is_fake, l.iso_ratio) for l in ref.loops]

@@ -279,9 +279,14 @@ class TestSpans:
     def test_pipeline_spans_cover_all_stages(self, small_network):
         tracer = Tracer()
         extract_skeleton(small_network, tracer=tracer)
-        names = [s.name for s in tracer.spans]
-        assert names == ["stage1:identification", "stage2:voronoi",
-                         "stage3:coarse", "stage4:refine"]
+        stage_names = [s.name for s in tracer.spans
+                       if s.category == "pipeline"]
+        assert stage_names == ["stage1:identification", "stage2:voronoi",
+                               "stage3:coarse", "stage4:refine"]
+        # The vectorized backend reports its kernel timings too.
+        kernel_names = {s.name for s in tracer.spans
+                        if s.category == "traversal"}
+        assert "traversal:khop_stats" in kernel_names
         assert all(s.clock == "wall" and s.duration >= 0
                    for s in tracer.spans)
 
@@ -420,3 +425,50 @@ class TestCliAndRendering:
         query = TraceQuery([])
         assert query.events_between(0, 10) == []
         assert query.messages_by_phase() == {}
+
+
+class TestCacheCounters:
+    """Artifact-cache traffic and stage timings surface in MetricsReport."""
+
+    def test_on_cache_counts_in_both_recording_modes(self):
+        for record_events in (True, False):
+            tracer = Tracer(record_events=record_events)
+            tracer.on_cache("indices", hit=False)
+            tracer.on_cache("indices", hit=True)
+            tracer.on_cache("voronoi", hit=True)
+            report = build_metrics(tracer)
+            assert report.cache_misses == {"indices": 1}
+            assert report.cache_hits == {"indices": 1, "voronoi": 1}
+            assert report.cache_hit_rate == pytest.approx(2 / 3)
+
+    def test_cached_extraction_reports_hits(self, small_network):
+        from repro.perf import ArtifactCache
+
+        cache = ArtifactCache()
+        extract_skeleton(small_network, cache=cache)  # cold: populate
+        tracer = Tracer(record_events=False)
+        extract_skeleton(small_network, cache=cache, tracer=tracer)
+        report = build_metrics(tracer)
+        assert report.cache_hits.get("indices") == 1
+        assert report.cache_hits.get("voronoi") == 1
+        assert report.total_cache_misses == 0
+        assert report.cache_hit_rate == 1.0
+
+    def test_stage_timings_cover_pipeline_and_kernels(self, small_network):
+        tracer = Tracer(record_events=False)
+        extract_skeleton(small_network, tracer=tracer)
+        timings = build_metrics(tracer).stage_timings
+        for stage in ("stage1:identification", "stage2:voronoi",
+                      "stage3:coarse", "stage4:refine"):
+            assert timings[stage] >= 0.0
+        assert "traversal:khop_stats" in timings
+
+    def test_stage_timings_excluded_from_report_equality(self, small_network):
+        reports = []
+        for _ in range(2):
+            tracer = Tracer(record_events=False)
+            extract_skeleton(small_network, tracer=tracer)
+            reports.append(build_metrics(tracer))
+        # Wall times differ run to run; the reports must still compare
+        # equal — report equality is the determinism contract.
+        assert reports[0] == reports[1]

@@ -245,3 +245,61 @@ def test_engine_batch_width_boundaries():
         assert engine.all_khop_sizes(4).tolist() == ref
     with pytest.raises(ValueError):
         net.traversal(batch_width=0)
+
+
+# -- PR 5 kernels: hop_distances / min_hop_distance / reconstruct_paths --
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hop_distances_match_bfs_oracle(seed):
+    for net in network_grid(seed):
+        engine = net.traversal()
+        rng = random.Random(seed + 17)
+        sources = rng.sample(range(net.num_nodes), 7)  # deliberately unsorted
+        dist = engine.hop_distances(sources)
+        assert dist.shape == (7, net.num_nodes)
+        for i, src in enumerate(sources):
+            ref = net.bfs_distances(src)
+            for node in net.nodes():
+                expect = ref.get(node, UNREACHED) if isinstance(ref, dict) \
+                    else ref[node]
+                assert dist[i, node] == expect
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_min_hop_distance_matches_merged_wave(seed):
+    for net in network_grid(seed):
+        engine = net.traversal()
+        rng = random.Random(seed + 3)
+        sources = sorted(rng.sample(range(net.num_nodes), 9))
+        merged = engine.min_hop_distance(sources)
+        per_source = engine.hop_distances(sources)
+        for node in net.nodes():
+            cols = [int(per_source[i, node]) for i in range(len(sources))
+                    if per_source[i, node] != UNREACHED]
+            expect = min(cols) if cols else UNREACHED
+            assert merged[node] == expect
+        for src in sources:
+            assert merged[src] == 0
+
+
+def test_min_hop_distance_no_sources():
+    net = random_network(1, n=40)
+    merged = net.traversal().min_hop_distance([])
+    assert np.all(merged == UNREACHED)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_reconstruct_paths_match_path_to_source(seed):
+    net = random_network(seed)
+    engine = net.traversal()
+    rng = random.Random(seed)
+    sites = sorted(rng.sample(range(net.num_nodes), 5))
+    dist, parent = engine.multi_source_distances(sites)
+    for si in range(len(sites)):
+        reached = [v for v in net.nodes() if dist[si, v] != UNREACHED]
+        targets = rng.sample(reached, min(40, len(reached)))
+        paths = engine.reconstruct_paths(parent[si], targets)
+        assert len(paths) == len(targets)
+        for node, path in zip(targets, paths):
+            assert path == net.path_to_source(parent[si], node)
