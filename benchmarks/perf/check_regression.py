@@ -1,12 +1,18 @@
-"""Non-gating perf-regression guard: diff a fresh BENCH JSON vs a baseline.
+"""Perf-regression guard: diff a fresh BENCH JSON vs a committed baseline.
 
 Compares every timing the two reports share — traversal stage times per
 (scenario, nodes, backend) for ``BENCH_traversal.json``, per-arm suite
-wall clocks for ``BENCH_parallel.json`` — and *warns* when the fresh
-number is more than ``--threshold`` (default 25%) slower.  Exit code is 0
-regardless unless ``--gate`` is passed: CI machines are noisy and a
-committed baseline may come from different hardware, so the guard
-surfaces drift without blocking merges.
+wall clocks for ``BENCH_parallel.json``, per-scenario shard phase times
+for ``BENCH_shard.json`` — and *warns* when the fresh number is more than
+``--threshold`` (default 25%) slower.  Slowdowns exit 0 unless ``--gate``
+is passed: CI machines are noisy and a committed baseline may come from
+different hardware, so timing drift surfaces without blocking merges.
+
+A **missing baseline is an error** (exit 1), not a warning: every bench
+that runs in CI must have its ``BENCH_*.json`` committed, otherwise the
+guard silently guards nothing and the gap only shows up when someone
+wonders why a regression was never caught.  Pass
+``--allow-missing-baseline`` for local runs of not-yet-committed benches.
 
 Timings are only comparable when the runs are: scale (and for the suite,
 jobs) must match, or the diff is skipped with a notice.
@@ -38,12 +44,18 @@ def timing_entries(report: Dict) -> Dict[str, float]:
     for arm, data in report.get("arms", {}).items():  # BENCH_parallel.json
         if "wall_s" in data:
             entries[f"suite/{arm}/wall_s"] = data["wall_s"]
+    for row in report.get("scenarios", ()):  # BENCH_shard.json shape
+        tag = f"shard/{row['scenario']}"
+        if "wall_s" in row:
+            entries[f"{tag}/wall_s"] = row["wall_s"]
+        for phase, seconds in row.get("phases", {}).items():
+            entries[f"{tag}/{phase}"] = seconds
     return entries
 
 
 def comparability_error(baseline: Dict, fresh: Dict) -> Optional[str]:
     """Why the two reports cannot be compared, or None if they can."""
-    for field in ("benchmark", "scale", "seed"):
+    for field in ("benchmark", "scale", "seed", "grid", "jobs"):
         if baseline.get(field) != fresh.get(field):
             return (f"{field} differs (baseline {baseline.get(field)!r} "
                     f"vs fresh {fresh.get(field)!r})")
@@ -86,10 +98,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="relative slowdown that triggers a warning")
     parser.add_argument("--gate", action="store_true",
                         help="exit non-zero on regressions (default: warn only)")
+    parser.add_argument("--allow-missing-baseline", action="store_true",
+                        help="tolerate an absent baseline file (local runs "
+                             "of not-yet-committed benches)")
     args = parser.parse_args(argv)
     if not args.baseline.is_file():
-        print(f"[perf-guard] no baseline at {args.baseline}; nothing to diff")
-        return 0
+        if args.allow_missing_baseline:
+            print(f"[perf-guard] no baseline at {args.baseline}; "
+                  f"nothing to diff")
+            return 0
+        print(f"[perf-guard] ERROR: baseline {args.baseline} is missing — "
+              f"commit the BENCH report or pass --allow-missing-baseline")
+        return 1
     warnings = check(args.baseline, args.fresh, threshold=args.threshold)
     if not warnings:
         print(f"[perf-guard] {args.fresh.name}: no regressions beyond "

@@ -1,0 +1,140 @@
+"""Macro-benchmark: tiled sharded extraction on mega-fields.
+
+Runs the sharded pipeline (:func:`repro.shard.run_sharded`) on the
+registered mega scenarios and emits ``BENCH_shard.json`` at the
+repository root:
+
+* ``mega_smoke`` — small enough to also run monolithically; the bench
+  *asserts* sharded ≡ monolithic on every artifact before recording the
+  numbers, because bit-identity is the subsystem's contract;
+* ``mega_100k`` — the 100k+-node perturbed-grid field, sharded only
+  (the scale the subsystem exists for).
+
+Per scenario the report records the per-phase wall clocks, tile
+accounting (replication factor — the halo overhead paid for exactness)
+and the structural outcome (site count, skeleton size, genuine loops —
+which must equal the field's hole count).  ``cpu_count`` is recorded
+because on a single-core container ``jobs > 1`` cannot beat serial; the
+headline claim is *completion* at 100k+ nodes with monolithic-identical
+semantics, not speedup.
+
+Run directly::
+
+    python -m benchmarks.perf.shard_bench --scale 1.0
+
+or through pytest (writes the same JSON)::
+
+    pytest -m perf benchmarks/perf/test_perf_shard.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.core import extract_skeleton
+from repro.network import get_mega_spec
+from repro.shard import diff_results, run_sharded
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT_PATH = REPO_ROOT / "BENCH_shard.json"
+
+DEFAULT_GRID = "4x4"
+DEFAULT_JOBS = 2
+
+#: (scenario, compare against the monolithic pipeline?)
+BENCH_SCENARIOS = (("mega_smoke", True), ("mega_100k", False))
+
+
+def _bench_scenario(name: str, compare: bool, scale: float, seed: int,
+                    grid: str, jobs: int) -> Dict:
+    spec = get_mega_spec(name)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    network = spec.build(seed=seed)
+    params = spec.params()
+    t0 = time.perf_counter()
+    run = run_sharded(network, params, grid=grid, jobs=jobs)
+    wall_s = time.perf_counter() - t0
+    result = run.result
+    row = {
+        "scenario": name,
+        "nodes": network.num_nodes,
+        "avg_degree": round(network.average_degree, 3),
+        "grid": grid,
+        "tiles": run.plan.num_tiles,
+        "halo_hops": run.plan.halo_hops,
+        "replication": round(run.plan.replication_factor(), 2),
+        "flood_batches": run.num_flood_batches,
+        "wall_s": round(wall_s, 3),
+        "phases": {phase: round(seconds, 3)
+                   for phase, seconds in run.timings.items()},
+        "critical_nodes": len(result.critical_nodes),
+        "skeleton_nodes": len(result.skeleton.nodes),
+        "genuine_loops": sum(1 for loop in result.loop_analysis.loops
+                             if not loop.is_fake),
+        "holes_in_field": len(spec.holes),
+    }
+    if compare:
+        mono = extract_skeleton(network, params)
+        mismatches = diff_results(mono, result)
+        assert not mismatches, (
+            f"sharded {name} diverged from monolithic: {mismatches[:3]}"
+        )
+        row["equivalent_to_monolithic"] = True
+    return row
+
+
+def run_shard_bench(scale: float = 1.0, seed: int = 1,
+                    grid: str = DEFAULT_GRID,
+                    jobs: int = DEFAULT_JOBS) -> Dict:
+    """Benchmark every registered mega scenario through the tiled path."""
+    rows = [_bench_scenario(name, compare, scale, seed, grid, jobs)
+            for name, compare in BENCH_SCENARIOS]
+    return {
+        "benchmark": "tiled sharded extraction",
+        "protocol": ("one sharded run per scenario; mega_smoke asserted "
+                     "artifact-identical to the monolithic pipeline"),
+        "scale": scale,
+        "seed": seed,
+        "grid": grid,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": rows,
+    }
+
+
+def write_report(report: Dict, path: Optional[Path] = None) -> Path:
+    path = path if path is not None else OUTPUT_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Benchmark sharded extraction on the mega-fields.")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--grid", default=DEFAULT_GRID)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    args = parser.parse_args(argv)
+    report = run_shard_bench(scale=args.scale, seed=args.seed,
+                             grid=args.grid, jobs=args.jobs)
+    path = write_report(report)
+    for row in report["scenarios"]:
+        check = " [=monolithic]" if row.get("equivalent_to_monolithic") else ""
+        print(f"{row['scenario']:<12} n={row['nodes']:<7} "
+              f"{row['wall_s']:8.1f}s  replication {row['replication']:.2f}  "
+              f"loops {row['genuine_loops']}/{row['holes_in_field']}{check}")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

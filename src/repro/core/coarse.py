@@ -16,7 +16,9 @@ from ..network.graph import SensorNetwork, UNREACHED
 from .params import SkeletonParams
 from .voronoi import SitePair, VoronoiDecomposition
 
-__all__ = ["SkeletonEdge", "CoarseSkeleton", "build_coarse_skeleton"]
+__all__ = ["SkeletonEdge", "CoarseSkeleton", "build_coarse_skeleton",
+           "ConnectorPlan", "plan_connectors", "compose_pair_path",
+           "path_edges"]
 
 SkeletonEdge = FrozenSet[int]
 """An undirected skeleton edge between two network nodes."""
@@ -105,8 +107,60 @@ class CoarseSkeleton:
         return len(self.edges) - len(self.nodes) + components
 
 
-def _path_edges(path: Sequence[int]) -> List[SkeletonEdge]:
+def path_edges(path: Sequence[int]) -> List[SkeletonEdge]:
+    """The undirected skeleton edges between consecutive path nodes."""
     return [frozenset((path[i], path[i + 1])) for i in range(len(path) - 1)]
+
+
+ConnectorPlan = Tuple[SitePair, Tuple[int, int], Tuple[int, int], bool]
+"""One planned pair connection: ``(pair, (site_a, endpoint_a),
+(site_b, endpoint_b), joined)``.  ``joined`` marks the two half paths
+meeting at a shared connector node (vs at a border edge)."""
+
+
+def plan_connectors(
+    adjacent_pairs: Sequence[SitePair],
+    pair_segments: Dict[SitePair, List[int]],
+    pair_border_edges: Dict[SitePair, List[Tuple[int, int]]],
+    index: Sequence[float],
+) -> Tuple[Dict[SitePair, int], List[ConnectorPlan]]:
+    """Pass 1 of coarse-skeleton establishment: pick every pair's connector.
+
+    The connector for a pair is the segment node with the largest index
+    among all segment nodes recording both sites (ties broken by node id);
+    a pair with no segment node falls back to the best edge crossing its
+    cell border.  Pure function of the cell structures — shared verbatim
+    by :func:`build_coarse_skeleton` and the sharded merge so both plan
+    identical connections.
+    """
+    connectors: Dict[SitePair, int] = {}
+    plans: List[ConnectorPlan] = []
+    for pair in adjacent_pairs:
+        site_a, site_b = pair
+        candidates = pair_segments.get(pair, [])
+        if candidates:
+            connector = max(candidates, key=lambda v: (index[v], v))
+            connectors[pair] = connector
+            plans.append((pair, (site_a, connector), (site_b, connector), True))
+        else:
+            # Low-density fallback (no segment node on this border): route
+            # through the best edge crossing the border.
+            border = pair_border_edges[pair]
+            u, v = max(border, key=lambda e: (index[e[0]] + index[e[1]], e))
+            connectors[pair] = u if index[u] >= index[v] else v
+            plans.append((pair, (site_a, u), (site_b, v), False))
+    return connectors, plans
+
+
+def compose_pair_path(path_a: Sequence[int], path_b: Sequence[int],
+                      joined: bool) -> List[int]:
+    """Full site-to-site path from the two reverse half paths.
+
+    ``path_a``/``path_b`` run endpoint → site (the stored reverse-path
+    direction); the result runs site_a → site_b, with a shared connector
+    endpoint appearing once.
+    """
+    return list(reversed(path_a)) + (list(path_b[1:]) if joined else list(path_b))
 
 
 def _batched_site_paths(
@@ -158,27 +212,14 @@ def build_coarse_skeleton(
     network = voronoi.network
     nodes: Set[int] = set(voronoi.sites)
     edges: Set[SkeletonEdge] = set()
-    connectors: Dict[SitePair, int] = {}
     pair_paths: Dict[SitePair, List[int]] = {}
 
     # Pass 1 — pick each pair's connector and record which (site, endpoint)
-    # reverse paths realizing it will need.  ``joined`` marks the two half
-    # paths meeting at a shared connector node (vs at a border edge).
-    plans: List[Tuple[SitePair, Tuple[int, int], Tuple[int, int], bool]] = []
-    for pair in voronoi.adjacent_pairs():
-        site_a, site_b = pair
-        candidates = voronoi.pair_segments.get(pair, [])
-        if candidates:
-            connector = max(candidates, key=lambda v: (index[v], v))
-            connectors[pair] = connector
-            plans.append((pair, (site_a, connector), (site_b, connector), True))
-        else:
-            # Low-density fallback (no segment node on this border): route
-            # through the best edge crossing the border.
-            border = voronoi.pair_border_edges[pair]
-            u, v = max(border, key=lambda e: (index[e[0]] + index[e[1]], e))
-            connectors[pair] = u if index[u] >= index[v] else v
-            plans.append((pair, (site_a, u), (site_b, v), False))
+    # reverse paths realizing it will need.
+    connectors, plans = plan_connectors(
+        voronoi.adjacent_pairs(), voronoi.pair_segments,
+        voronoi.pair_border_edges, index,
+    )
 
     # Pass 2 — resolve every reverse path, batched per site row on the
     # vectorized backend, one chain walk per endpoint on the reference.
@@ -198,15 +239,11 @@ def build_coarse_skeleton(
             return voronoi.path_to_site(node, site)
 
     for pair, (site_a, node_a), (site_b, node_b), joined in plans:
-        path_a = path_of(site_a, node_a)
-        path_b = path_of(site_b, node_b)
-        # Full site-to-site path: reverse of path_a (site_a .. connector)
-        # followed by path_b (connector .. site_b); a shared connector
-        # endpoint appears once.
-        full = list(reversed(path_a)) + (path_b[1:] if joined else path_b)
+        full = compose_pair_path(path_of(site_a, node_a),
+                                 path_of(site_b, node_b), joined)
         pair_paths[pair] = full
         nodes.update(full)
-        edges.update(_path_edges(full))
+        edges.update(path_edges(full))
 
     return CoarseSkeleton(
         network=network,

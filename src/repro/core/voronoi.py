@@ -24,7 +24,8 @@ import numpy as np
 from ..network.graph import SensorNetwork, UNREACHED
 from .params import SkeletonParams
 
-__all__ = ["VoronoiDecomposition", "build_voronoi"]
+__all__ = ["VoronoiDecomposition", "build_voronoi",
+           "records_to_structures", "border_edges_from_cells"]
 
 SitePair = Tuple[int, int]
 """An unordered adjacent-cell pair, stored as (low site id, high site id)."""
@@ -109,6 +110,68 @@ class VoronoiDecomposition:
         return True
 
 
+def records_to_structures(
+    records: Sequence[Sequence[Tuple[int, int]]],
+) -> Tuple[List[int], Set[int], Set[int], Dict[SitePair, List[int]]]:
+    """Derive the cell structures from per-node record lists.
+
+    Returns ``(cell_of, segment_nodes, voronoi_nodes, pair_segments)``.
+    Records must already be sorted by ``(distance, site)`` per node — the
+    invariant :func:`build_voronoi` establishes.  Factored out so the
+    sharded merge (:mod:`repro.shard`) derives its structures through the
+    exact same code path as the monolithic build: iterating nodes in
+    ascending id order keeps every ``pair_segments`` list bit-identical.
+    """
+    cell_of: List[int] = []
+    segment_nodes: Set[int] = set()
+    voronoi_nodes: Set[int] = set()
+    pair_segments: Dict[SitePair, List[int]] = {}
+    for node, near in enumerate(records):
+        if not near:
+            cell_of.append(-1)
+            continue
+        cell_of.append(near[0][0])
+        if len(near) >= 2:
+            segment_nodes.add(node)
+            near_sites = [site for site, _ in near]
+            for i in range(len(near_sites)):
+                for j in range(i + 1, len(near_sites)):
+                    pair = (min(near_sites[i], near_sites[j]),
+                            max(near_sites[i], near_sites[j]))
+                    pair_segments.setdefault(pair, []).append(node)
+        if len(near) >= 3:
+            voronoi_nodes.add(node)
+    return cell_of, segment_nodes, voronoi_nodes, pair_segments
+
+
+def border_edges_from_cells(
+    network: SensorNetwork, cell_of: Sequence[int],
+) -> Dict[SitePair, List[Tuple[int, int]]]:
+    """Edges crossing a cell border, grouped per adjacent site pair.
+
+    Cells touch wherever an edge joins two cells, even when no node lies
+    close enough to both sites to be a segment node.  Each edge is
+    oriented with the lower-site cell's endpoint first; edges accumulate
+    in ascending ``(u, v)`` scan order.  Shared by :func:`build_voronoi`
+    and the sharded merge.
+    """
+    pair_border_edges: Dict[SitePair, List[Tuple[int, int]]] = {}
+    for u in range(network.num_nodes):
+        cu = cell_of[u]
+        if cu < 0:
+            continue
+        for v in network.neighbors(u):
+            if v <= u:
+                continue
+            cv = cell_of[v]
+            if cv < 0 or cv == cu:
+                continue
+            pair = (min(cu, cv), max(cu, cv))
+            edge = (u, v) if cell_of[u] == pair[0] else (v, u)
+            pair_border_edges.setdefault(pair, []).append(edge)
+    return pair_border_edges
+
+
 def build_voronoi(network: SensorNetwork, sites: Sequence[int],
                   params: Optional[SkeletonParams] = None,
                   cache=None, tracer=None) -> VoronoiDecomposition:
@@ -151,11 +214,6 @@ def build_voronoi(network: SensorNetwork, sites: Sequence[int],
 
     n = network.num_nodes
     records: List[List[Tuple[int, int]]] = []
-    cell_of: List[int] = []
-    segment_nodes: Set[int] = set()
-    voronoi_nodes: Set[int] = set()
-    pair_segments: Dict[SitePair, List[int]] = {}
-
     for node in range(n):
         column = dist[:, node]
         reachable = [
@@ -167,42 +225,16 @@ def build_voronoi(network: SensorNetwork, sites: Sequence[int],
             # Disconnected from every site (cannot happen on a connected
             # network, which generators guarantee).
             records.append([])
-            cell_of.append(-1)
             continue
         best = min(d for d, _ in reachable)
-        near = sorted(
+        records.append(sorted(
             [(site, d) for d, site in reachable if d - best <= params.alpha],
             key=lambda item: (item[1], item[0]),
-        )
-        records.append(near)
-        cell_of.append(near[0][0])
-        if len(near) >= 2:
-            segment_nodes.add(node)
-            near_sites = [site for site, _ in near]
-            for i in range(len(near_sites)):
-                for j in range(i + 1, len(near_sites)):
-                    pair = (min(near_sites[i], near_sites[j]),
-                            max(near_sites[i], near_sites[j]))
-                    pair_segments.setdefault(pair, []).append(node)
-        if len(near) >= 3:
-            voronoi_nodes.add(node)
+        ))
 
-    # Border edges: cells touch wherever an edge joins two cells, even when
-    # no node lies close enough to both sites to be a segment node.
-    pair_border_edges: Dict[SitePair, List[Tuple[int, int]]] = {}
-    for u in range(n):
-        cu = cell_of[u]
-        if cu < 0:
-            continue
-        for v in network.neighbors(u):
-            if v <= u:
-                continue
-            cv = cell_of[v]
-            if cv < 0 or cv == cu:
-                continue
-            pair = (min(cu, cv), max(cu, cv))
-            edge = (u, v) if cell_of[u] == pair[0] else (v, u)
-            pair_border_edges.setdefault(pair, []).append(edge)
+    cell_of, segment_nodes, voronoi_nodes, pair_segments = \
+        records_to_structures(records)
+    pair_border_edges = border_edges_from_cells(network, cell_of)
 
     return VoronoiDecomposition(
         network=network,

@@ -3,6 +3,7 @@
 from .harness import ExperimentReport, scaled_nodes
 from .faults import run_fault_degradation
 from .async_jitter import run_async_jitter
+from .sharding import run_shard_equivalence
 from .suite import SUITE_RUNNERS, run_figure_suite
 from .figures import (
     run_ablations,
@@ -32,6 +33,7 @@ ALL_RUNNERS = {
     "ablations": run_ablations,
     "faults": run_fault_degradation,
     "async": run_async_jitter,
+    "shard": run_shard_equivalence,
 }
 
 __all__ = [
@@ -53,4 +55,5 @@ __all__ = [
     "run_ablations",
     "run_fault_degradation",
     "run_async_jitter",
+    "run_shard_equivalence",
 ]

@@ -1,0 +1,64 @@
+"""E-SHARD: sharded-vs-monolithic equivalence as a suite experiment.
+
+For each scenario the runner extracts the skeleton monolithically, then
+through the tiled pipeline at several grid sizes, and reports the diff
+count per grid — zero everywhere is the pass condition the paper-scale
+claim rests on (DESIGN.md §12).  The table doubles as tile accounting:
+replication factor and wall-clock per grid.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from ..core import SkeletonParams
+from ..network import get_scenario
+from ..shard import diff_results, parse_grid, run_sharded
+from .figures import _build, _extract
+from .harness import ExperimentReport, scaled_nodes
+
+__all__ = ["run_shard_equivalence", "SHARD_EQ_NAMES", "SHARD_EQ_GRIDS"]
+
+#: Default scenario subset — one convex-ish field, one hole, two holes.
+SHARD_EQ_NAMES = ["window", "one_hole", "two_holes"]
+
+#: Grids exercised per scenario: trivial, quad, and 16-way tiling.
+SHARD_EQ_GRIDS = ["1x1", "2x2", "4x4"]
+
+
+def run_shard_equivalence(scale: float = 1.0, seed: int = 1,
+                          names: Optional[List[str]] = None,
+                          grids: Optional[Sequence[str]] = None,
+                          jobs: Optional[int] = None,
+                          cache=None, tracer=None) -> ExperimentReport:
+    """E-SHARD: tiled extraction must match the monolithic pipeline."""
+    report = ExperimentReport(
+        "E-SHARD", "sharded extraction equivalence across tile grids",
+    )
+    params = SkeletonParams()
+    for name in (names if names is not None else SHARD_EQ_NAMES):
+        scenario = get_scenario(name)
+        network = _build(scenario, seed, scaled_nodes(scenario.num_nodes, scale),
+                         cache=cache, tracer=tracer)
+        mono = _extract(network, params, cache=cache, tracer=tracer)
+        for grid in (grids if grids is not None else SHARD_EQ_GRIDS):
+            start = time.perf_counter()
+            run = run_sharded(network, params, grid=parse_grid(grid),
+                              jobs=jobs, cache=cache, tracer=tracer)
+            elapsed = time.perf_counter() - start
+            mismatches = diff_results(mono, run.result)
+            report.add_row(
+                scenario=name,
+                nodes=network.num_nodes,
+                grid=grid,
+                tiles=run.plan.num_tiles,
+                halo_hops=run.plan.halo_hops,
+                replication=round(run.plan.replication_factor(), 2),
+                identical=not mismatches,
+                mismatches=len(mismatches),
+                seconds=round(elapsed, 3),
+            )
+    report.add_note("identical: sharded output matches monolithic on every "
+                    "artifact (stage 1 indices through segmentation)")
+    return report

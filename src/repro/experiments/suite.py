@@ -41,12 +41,13 @@ from .figures import (
     run_thm5_complexity,
 )
 from .harness import ExperimentReport
+from .sharding import SHARD_EQ_NAMES, run_shard_equivalence
 
 __all__ = ["run_figure_suite", "suite_shards", "SUITE_RUNNERS"]
 
 #: Canonical runner order of the suite (DESIGN.md §4).
 SUITE_RUNNERS = ("fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                 "thm5", "sec5b", "baselines", "ablations")
+                 "thm5", "sec5b", "baselines", "ablations", "shard")
 
 _RUNNER_FNS = {
     "fig1": run_fig1_pipeline,
@@ -60,6 +61,7 @@ _RUNNER_FNS = {
     "sec5b": run_sec5b_parameters,
     "baselines": run_baseline_comparison,
     "ablations": run_ablations,
+    "shard": run_shard_equivalence,
 }
 
 
@@ -82,6 +84,7 @@ def suite_shards(runners: Sequence[str]) -> List[Tuple[Tuple[int, int], str, Dic
         "sec5b": [{}],
         "baselines": [{"names": [name]} for name in ("window", "one_hole")],
         "ablations": [{}],
+        "shard": [{"names": [name]} for name in SHARD_EQ_NAMES],
     }
     shards: List[Tuple[Tuple[int, int], str, Dict]] = []
     for order, runner in enumerate(runners):

@@ -19,10 +19,14 @@ from .scenarios import (
     FIG7_DEGREES,
     FIG7_EPSILONS,
     FIG8_SCENARIOS,
+    MEGA_SCENARIOS,
     PAPER_SCENARIOS,
+    MegaFieldSpec,
     Scenario,
+    build_mega_network,
     build_scenario_network,
     estimate_range_for_degree,
+    get_mega_spec,
     get_scenario,
 )
 
@@ -49,4 +53,8 @@ __all__ = [
     "build_scenario_network",
     "estimate_range_for_degree",
     "get_scenario",
+    "MegaFieldSpec",
+    "MEGA_SCENARIOS",
+    "build_mega_network",
+    "get_mega_spec",
 ]

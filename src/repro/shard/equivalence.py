@@ -1,0 +1,89 @@
+"""Cross-shard equivalence checking: sharded vs monolithic results.
+
+:func:`diff_results` compares every artifact the two pipelines should
+agree on — stage by stage, so a mismatch names the first divergent
+artifact instead of just "skeletons differ".  The per-site flood
+matrices are excluded by design: the sharded pipeline never materializes
+them globally (see :mod:`repro.shard.merge`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.result import SkeletonResult
+
+__all__ = ["diff_results", "assert_equivalent"]
+
+
+def _diff(label: str, a, b, out: List[str]) -> None:
+    if a != b:
+        out.append(f"{label}: monolithic {_brief(a)} != sharded {_brief(b)}")
+
+
+def _brief(value) -> str:
+    text = repr(value)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def diff_results(mono: SkeletonResult, shard: SkeletonResult) -> List[str]:
+    """All artifact mismatches between a monolithic and a sharded run.
+
+    Empty list ⇔ the runs are node-for-node, edge-for-edge, loop-for-loop
+    identical.  Comparison order follows the pipeline so the first entry
+    points at the earliest divergent stage.
+    """
+    out: List[str] = []
+    _diff("stage1.khop_sizes", mono.index_data.khop_sizes,
+          shard.index_data.khop_sizes, out)
+    _diff("stage1.centrality", mono.index_data.centrality,
+          shard.index_data.centrality, out)
+    _diff("stage1.index", mono.index_data.index, shard.index_data.index, out)
+    _diff("stage1.critical_nodes", mono.critical_nodes, shard.critical_nodes,
+          out)
+    _diff("stage2.sites", mono.voronoi.sites, shard.voronoi.sites, out)
+    _diff("stage2.records", mono.voronoi.records, shard.voronoi.records, out)
+    _diff("stage2.cell_of", mono.voronoi.cell_of, shard.voronoi.cell_of, out)
+    _diff("stage2.segment_nodes", mono.voronoi.segment_nodes,
+          shard.voronoi.segment_nodes, out)
+    _diff("stage2.voronoi_nodes", mono.voronoi.voronoi_nodes,
+          shard.voronoi.voronoi_nodes, out)
+    _diff("stage2.pair_segments", mono.voronoi.pair_segments,
+          shard.voronoi.pair_segments, out)
+    _diff("stage2.pair_border_edges", mono.voronoi.pair_border_edges,
+          shard.voronoi.pair_border_edges, out)
+    _diff("stage3.connectors", mono.coarse.connectors,
+          shard.coarse.connectors, out)
+    _diff("stage3.pair_paths", mono.coarse.pair_paths,
+          shard.coarse.pair_paths, out)
+    _diff("stage3.nodes", mono.coarse.nodes, shard.coarse.nodes, out)
+    _diff("stage3.edges", mono.coarse.edges, shard.coarse.edges, out)
+    _diff("stage4.kept_pairs", mono.loop_analysis.kept_pairs,
+          shard.loop_analysis.kept_pairs, out)
+    _diff("stage4.removed_pairs", mono.loop_analysis.removed_pairs,
+          shard.loop_analysis.removed_pairs, out)
+    _diff(
+        "stage4.loops",
+        [(loop.sites, loop.ordered, loop.is_fake)
+         for loop in mono.loop_analysis.loops],
+        [(loop.sites, loop.ordered, loop.is_fake)
+         for loop in shard.loop_analysis.loops],
+        out,
+    )
+    _diff("skeleton.nodes", mono.skeleton.nodes, shard.skeleton.nodes, out)
+    _diff("skeleton.edges", mono.skeleton.edges, shard.skeleton.edges, out)
+    _diff("byproduct.segmentation", mono.segmentation.segments,
+          shard.segmentation.segments, out)
+    _diff("byproduct.boundary_nodes", mono.boundary_nodes,
+          shard.boundary_nodes, out)
+    return out
+
+
+def assert_equivalent(mono: SkeletonResult, shard: SkeletonResult) -> None:
+    """Raise :class:`AssertionError` with the full diff on any mismatch."""
+    mismatches = diff_results(mono, shard)
+    if mismatches:
+        raise AssertionError(
+            "sharded extraction diverged from monolithic:\n  "
+            + "\n  ".join(mismatches)
+        )

@@ -1,0 +1,95 @@
+"""The perf-regression guard's contract: shapes, comparability, gating.
+
+The guard is plumbing, but broken plumbing here means CI silently stops
+guarding — so tier-1 pins the load-bearing behaviours: every committed
+``BENCH_*.json`` shape flattens into timing entries, incomparable runs
+are skipped rather than mis-compared, and a *missing* baseline fails
+loudly instead of printing a notice nobody reads.
+"""
+
+import json
+
+from benchmarks.perf.check_regression import (
+    comparability_error,
+    main,
+    timing_entries,
+)
+
+
+def _shard_report(wall_s=10.0, flood_s=3.0):
+    return {
+        "benchmark": "tiled sharded extraction",
+        "scale": 1.0, "seed": 1, "grid": "4x4", "jobs": 2,
+        "scenarios": [{
+            "scenario": "mega_100k", "nodes": 104300,
+            "wall_s": wall_s,
+            "phases": {"shard:stage1": 4.0, "shard:flood": flood_s},
+        }],
+    }
+
+
+class TestTimingEntries:
+    def test_shard_shape_flattens(self):
+        entries = timing_entries(_shard_report())
+        assert entries["shard/mega_100k/wall_s"] == 10.0
+        assert entries["shard/mega_100k/shard:flood"] == 3.0
+        assert entries["shard/mega_100k/shard:stage1"] == 4.0
+
+    def test_traversal_and_parallel_shapes_still_flatten(self):
+        entries = timing_entries({
+            "results": [{"scenario": "window", "nodes": 100,
+                         "vectorized": {"stage1_s": 0.5}}],
+            "arms": {"serial": {"wall_s": 2.0}},
+        })
+        assert entries["window/n=100/vectorized/stage1_s"] == 0.5
+        assert entries["suite/serial/wall_s"] == 2.0
+
+
+class TestComparability:
+    def test_matching_shard_reports_compare(self):
+        assert comparability_error(_shard_report(), _shard_report()) is None
+
+    def test_grid_mismatch_is_incomparable(self):
+        other = dict(_shard_report(), grid="2x2")
+        assert "grid differs" in comparability_error(_shard_report(), other)
+
+    def test_jobs_mismatch_is_incomparable(self):
+        other = dict(_shard_report(), jobs=8)
+        assert "jobs differs" in comparability_error(_shard_report(), other)
+
+
+class TestMissingBaseline:
+    def test_missing_baseline_fails(self, tmp_path, capsys):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(_shard_report()))
+        rc = main([str(tmp_path / "BENCH_shard.json"), str(fresh)])
+        assert rc == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_allow_missing_baseline_flag(self, tmp_path):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(_shard_report()))
+        rc = main([str(tmp_path / "BENCH_shard.json"), str(fresh),
+                   "--allow-missing-baseline"])
+        assert rc == 0
+
+
+class TestGating:
+    def test_regression_warns_without_gate(self, tmp_path):
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        base.write_text(json.dumps(_shard_report(wall_s=10.0)))
+        fresh.write_text(json.dumps(_shard_report(wall_s=20.0)))
+        assert main([str(base), str(fresh)]) == 0
+
+    def test_regression_fails_with_gate(self, tmp_path, capsys):
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        base.write_text(json.dumps(_shard_report(wall_s=10.0)))
+        fresh.write_text(json.dumps(_shard_report(wall_s=20.0)))
+        assert main([str(base), str(fresh), "--gate"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_clean_comparison_passes(self, tmp_path):
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        base.write_text(json.dumps(_shard_report()))
+        fresh.write_text(json.dumps(_shard_report(wall_s=10.5)))
+        assert main([str(base), str(fresh), "--gate"]) == 0

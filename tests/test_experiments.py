@@ -46,6 +46,7 @@ class TestRunners:
         assert set(ALL_RUNNERS) == {
             "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "thm5", "sec5b", "baselines", "ablations", "faults", "async",
+            "shard",
         }
 
     def test_fig1_rows(self):
@@ -69,3 +70,21 @@ class TestRunners:
         assert [row["k"] for row in report.rows] == [3, 4]
         for row in report.rows:
             assert row["connected"]
+
+
+class TestShardRunner:
+    def test_shard_equivalence_rows(self):
+        from repro.experiments import run_shard_equivalence
+
+        report = run_shard_equivalence(scale=SCALE, names=["window"],
+                                       grids=["1x1", "2x2"])
+        assert [row["grid"] for row in report.rows] == ["1x1", "2x2"]
+        assert all(row["identical"] for row in report.rows)
+        assert all(row["mismatches"] == 0 for row in report.rows)
+
+    def test_shard_is_a_suite_runner(self):
+        from repro.experiments.suite import SUITE_RUNNERS, suite_shards
+
+        assert "shard" in SUITE_RUNNERS
+        shards = suite_shards(["shard"])
+        assert len(shards) >= 3  # one per default scenario

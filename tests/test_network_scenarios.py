@@ -91,3 +91,81 @@ class TestBuild:
         network = get_scenario("music").build(seed=2, num_nodes=300)
         assert network.field is not None
         assert network.field.name == "music"
+
+
+class TestMegaFields:
+    """The streaming perturbed-grid generator behind the sharded bench."""
+
+    def _spec(self):
+        from repro.network import get_mega_spec
+
+        return get_mega_spec("mega_smoke").scaled(0.25)
+
+    def test_num_nodes_is_exact(self):
+        spec = self._spec()
+        network = spec.build(seed=3)
+        assert network.num_nodes == spec.num_nodes
+
+    def test_chunked_emission_matches_whole_build(self):
+        import numpy as np
+
+        spec = self._spec()
+        parts = [pos for _, pos in spec.iter_chunks(seed=3)]
+        whole = np.concatenate(parts)
+        network = spec.build(seed=3)
+        rebuilt = np.array([[p.x, p.y] for p in network.positions])
+        assert np.array_equal(whole, rebuilt)
+
+    def test_chunks_carry_contiguous_ids(self):
+        spec = self._spec()
+        next_id = 0
+        for first_id, pos in spec.iter_chunks(seed=3):
+            assert first_id == next_id
+            next_id += len(pos)
+        assert next_id == spec.num_nodes
+
+    def test_build_is_deterministic_per_seed(self):
+        spec = self._spec()
+        a, b = spec.build(seed=5), spec.build(seed=5)
+        assert a.positions == b.positions
+        assert a.adjacency == b.adjacency
+        c = spec.build(seed=6)
+        assert a.positions != c.positions
+
+    def test_holes_leave_no_nodes_inside(self):
+        from repro.network import get_mega_spec
+
+        spec = get_mega_spec("mega_smoke")
+        network = spec.build(seed=1)
+        for (i0, j0, i1, j1) in spec.holes:
+            # Jitter keeps every node within 0.35 of its cell centre, so
+            # nothing can reach deeper than one spacing into a hole.
+            for p in network.positions:
+                inside_x = i0 + 1 < p.x / spec.spacing < i1 - 1
+                inside_y = j0 + 1 < p.y / spec.spacing < j1 - 1
+                assert not (inside_x and inside_y)
+
+    def test_scaled_preserves_shape(self):
+        from repro.network import get_mega_spec
+
+        spec = get_mega_spec("mega_100k")
+        small = spec.scaled(0.01)
+        assert small.num_nodes < spec.num_nodes
+        assert len(small.holes) <= len(spec.holes)
+
+    def test_recommended_params_carry_election_hops(self):
+        spec = self._spec()
+        assert spec.params().local_max_hops == spec.election_hops
+        assert spec.params(local_max_hops=2).local_max_hops == 2
+
+    def test_unknown_mega_spec_raises(self):
+        from repro.network import get_mega_spec
+
+        with pytest.raises(KeyError, match="unknown mega scenario"):
+            get_mega_spec("mega_city")
+
+    def test_registry_contains_the_bench_scenarios(self):
+        from repro.network import MEGA_SCENARIOS
+
+        assert set(MEGA_SCENARIOS) >= {"mega_smoke", "mega_100k"}
+        assert MEGA_SCENARIOS["mega_100k"].num_nodes >= 100_000

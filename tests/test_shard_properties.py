@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the tiling and merge invariants.
+
+Three families, each one pillar of the exactness argument in DESIGN.md §12:
+
+* **halo coverage** — for random fields and random grids, every owned
+  node's full ``halo_hops``-hop graph ball lies inside its owner tile's
+  member set (the geometric halo over-covers the graph ball);
+* **ownership partition** — every node is owned by exactly one tile, no
+  node is orphaned, and ``owner_of`` agrees with the per-tile lists;
+* **merge order-invariance** — the stage-1 and flood merges are pure
+  reductions: permuting shard result order never changes the output.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SkeletonParams
+from repro.geometry import make_field
+from repro.network import UnitDiskRadio, build_network
+from repro.network.deployment import uniform_deployment
+from repro.shard import merge_flood_records, merge_stage1, plan_tiles
+from repro.shard.plan import halo_hops_for
+from repro.shard.tile import flood_batch_task, stage1_tile_task
+
+import numpy as np
+
+
+def _random_network(seed: int, n: int):
+    rng = random.Random(seed)
+    field = make_field("rectangle")
+    positions = uniform_deployment(field, n, rng=rng)
+    return build_network(positions, radio=UnitDiskRadio(6.0), field=field,
+                         rng=rng)
+
+
+def _ball(network, source: int, hops: int) -> set:
+    """The ``hops``-hop graph ball around *source* (source included)."""
+    seen = {source}
+    frontier = {source}
+    for _ in range(hops):
+        frontier = {w for v in frontier
+                    for w in network.adjacency[v]} - seen
+        if not frontier:
+            break
+        seen |= frontier
+    return seen
+
+
+def _stage1_configs(network, plan, params):
+    """The per-tile stage-1 configs exactly as ``run_sharded`` builds them."""
+    configs = []
+    for flat, tile in enumerate(plan.tiles):
+        if not tile.owned:
+            continue
+        members = np.asarray(tile.members, dtype=np.int64)
+        subnet = network.induced_subgraph(tile.members)
+        owned_local = np.searchsorted(
+            members, np.asarray(tile.owned, dtype=np.int64))
+        configs.append({"tile": flat, "subnet": subnet, "members": members,
+                        "owned_local": owned_local, "params": params,
+                        "cache_dir": None})
+    return configs
+
+
+grids = st.tuples(st.integers(min_value=1, max_value=4),
+                  st.integers(min_value=1, max_value=4))
+seeds = st.integers(min_value=0, max_value=2**16)
+sizes = st.integers(min_value=30, max_value=110)
+
+
+class TestHaloCoverage:
+    @given(seed=seeds, n=sizes, grid=grids)
+    @settings(max_examples=15, deadline=None)
+    def test_khop_ball_of_every_owned_node_is_inside_owner_tile(
+            self, seed, n, grid):
+        network = _random_network(seed, n)
+        params = SkeletonParams()
+        plan = plan_tiles(network, grid, params)
+        hops = halo_hops_for(params)
+        for tile in plan.tiles:
+            members = set(tile.members)
+            for node in tile.owned:
+                assert _ball(network, node, hops) <= members, (
+                    f"halo of tile ({tile.tx},{tile.ty}) misses part of "
+                    f"node {node}'s {hops}-hop ball"
+                )
+
+
+class TestOwnershipPartition:
+    @given(seed=seeds, n=sizes, grid=grids)
+    @settings(max_examples=20, deadline=None)
+    def test_every_node_owned_exactly_once(self, seed, n, grid):
+        network = _random_network(seed, n)
+        plan = plan_tiles(network, grid)
+        owned_lists = [tile.owned for tile in plan.tiles]
+        all_owned = [v for owned in owned_lists for v in owned]
+        assert len(all_owned) == len(set(all_owned)), "double-owned node"
+        assert set(all_owned) == set(range(network.num_nodes)), \
+            "orphaned node"
+
+    @given(seed=seeds, n=sizes, grid=grids)
+    @settings(max_examples=20, deadline=None)
+    def test_owner_map_agrees_with_tile_lists(self, seed, n, grid):
+        network = _random_network(seed, n)
+        plan = plan_tiles(network, grid)
+        for flat, tile in enumerate(plan.tiles):
+            for node in tile.owned:
+                assert plan.owner_of[node] == flat
+            assert set(tile.owned) <= set(tile.members)
+
+
+class TestMergeOrderInvariance:
+    @given(seed=seeds, grid=grids, order=st.randoms(use_true_random=False))
+    @settings(max_examples=10, deadline=None)
+    def test_stage1_merge_is_order_invariant(self, seed, grid, order):
+        network = _random_network(seed, 80)
+        params = SkeletonParams()
+        plan = plan_tiles(network, grid, params)
+        results = [stage1_tile_task(c)
+                   for c in _stage1_configs(network, plan, params)]
+        reference = merge_stage1(network.num_nodes, results)
+        shuffled = list(results)
+        order.shuffle(shuffled)
+        permuted = merge_stage1(network.num_nodes, shuffled)
+        assert permuted[0].khop_sizes == reference[0].khop_sizes
+        assert permuted[0].centrality == reference[0].centrality
+        assert permuted[0].index == reference[0].index
+        assert permuted[1] == reference[1]
+
+    @given(seed=seeds, order=st.randoms(use_true_random=False),
+           num_batches=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_flood_merge_is_order_invariant(self, seed, order, num_batches):
+        network = _random_network(seed, 80)
+        params = SkeletonParams()
+        plan = plan_tiles(network, (2, 2), params)
+        results = [stage1_tile_task(c)
+                   for c in _stage1_configs(network, plan, params)]
+        _, sites = merge_stage1(network.num_nodes, results)
+        if not sites:
+            return
+        batches = [sites[i::num_batches] for i in range(num_batches)]
+        batches = [b for b in batches if b]
+        flood = [flood_batch_task({"network": network, "sites": b,
+                                   "params": params, "cache_dir": None})
+                 for b in batches]
+        reference = merge_flood_records(network.num_nodes, params.alpha,
+                                        flood)
+        shuffled = list(flood)
+        order.shuffle(shuffled)
+        assert merge_flood_records(network.num_nodes, params.alpha,
+                                   shuffled) == reference
+
+    def test_stage1_merge_rejects_missing_tiles(self):
+        network = _random_network(3, 60)
+        params = SkeletonParams()
+        plan = plan_tiles(network, (2, 2), params)
+        configs = _stage1_configs(network, plan, params)
+        results = [stage1_tile_task(c) for c in configs]
+        if len(results) < 2:
+            pytest.skip("degenerate tiling: everything in one tile")
+        with pytest.raises(ValueError, match="incomplete"):
+            merge_stage1(network.num_nodes, results[:-1])
+
+    def test_stage1_merge_rejects_double_ownership(self):
+        network = _random_network(3, 60)
+        params = SkeletonParams()
+        plan = plan_tiles(network, (2, 2), params)
+        configs = _stage1_configs(network, plan, params)
+        results = [stage1_tile_task(c) for c in configs]
+        if len(results) < 2:
+            pytest.skip("degenerate tiling: everything in one tile")
+        with pytest.raises(ValueError, match="double-owned"):
+            merge_stage1(network.num_nodes, results + [results[0]])

@@ -10,6 +10,13 @@ The snapshot also feeds trace-derived Theorem 5 assertions: the paper's
 bounds re-checked against the *recorded* traffic rather than the
 aggregate counters, so the two accounting paths cross-validate.
 
+A second snapshot (``tests/golden/trace_seam.json``) covers the sharded
+path: the same scenario tiled 2×2 with halos, the distributed stages run
+per tile, and the accounting *summed across shard runs*.  Halo nodes are
+simulated by every tile containing them, so the summed per-node budget is
+the monolithic budget times the node's tile multiplicity — the seam-aware
+form of Theorem 5 that DESIGN.md §12 claims.
+
 Regenerate (only after an intentional protocol change) by running::
 
     PYTHONPATH=src python -m tests.test_trace_golden
@@ -21,10 +28,12 @@ from pathlib import Path
 import pytest
 
 from repro.core import SkeletonParams, run_distributed_stages
-from repro.network import get_scenario
+from repro.network import MEGA_SCENARIOS, get_mega_spec, get_scenario
 from repro.observability import Tracer
+from repro.shard import plan_tiles
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "trace_window.json"
+SEAM_GOLDEN_PATH = Path(__file__).parent / "golden" / "trace_seam.json"
 PHASES = ("nbr", "size", "index", "site")
 
 
@@ -122,6 +131,115 @@ class TestTraceDerivedTheorem5:
         assert firsts == sorted(firsts)
 
 
+def _seam_golden() -> dict:
+    return json.loads(SEAM_GOLDEN_PATH.read_text())
+
+
+def _run_seam_tiles():
+    """One traced distributed run per tile of the seam scenario.
+
+    Returns the golden dict, the full network, the tile plan, and per-tile
+    ``(tile, MetricsReport, sends_by_global_node)`` triples — the latter
+    with subgraph-local node ids already mapped back to global ids so
+    cross-tile sums are well-defined.
+    """
+    golden = _seam_golden()
+    if golden["scenario"] in MEGA_SCENARIOS:
+        network = get_mega_spec(golden["scenario"]).build(seed=golden["seed"])
+    else:
+        network = get_scenario(golden["scenario"]).build(
+            seed=golden["seed"], num_nodes=golden["num_nodes"]
+        )
+    plan = plan_tiles(network, tuple(golden["grid"]), SkeletonParams())
+    runs = []
+    for tile in plan.tiles:
+        if not tile.members:
+            continue
+        subnet = network.induced_subgraph(tile.members)
+        tracer = Tracer(record_events=True)
+        run_distributed_stages(subnet, scheduler="sync", tracer=tracer)
+        sends = {}
+        for local, count in tracer.query().sends_by_node().items():
+            sends[tile.members[local]] = count
+        runs.append((tile, tracer.metrics(), sends))
+    return golden, network, plan, runs
+
+
+@pytest.fixture(scope="module")
+def seam_runs():
+    return _run_seam_tiles()
+
+
+class TestSeamGoldenSnapshot:
+    """Pinned accounting for the 2×2 sharded run of the Window scenario."""
+
+    def test_tiling_unchanged(self, seam_runs):
+        golden, network, plan, runs = seam_runs
+        assert network.num_nodes == golden["built_nodes"]
+        assert [len(tile.members) for tile, _, _ in runs] \
+            == golden["tile_nodes"]
+
+    def test_per_tile_broadcasts_pinned(self, seam_runs):
+        golden, _, _, runs = seam_runs
+        assert [report.total_broadcasts for _, report, _ in runs] \
+            == golden["tile_broadcasts"]
+
+    def test_summed_accounting_pinned(self, seam_runs):
+        golden, _, _, runs = seam_runs
+        summed = {}
+        for _, _, sends in runs:
+            for node, count in sends.items():
+                summed[node] = summed.get(node, 0) + count
+        assert sum(r.total_broadcasts for _, r, _ in runs) \
+            == golden["summed_total_broadcasts"]
+        assert max(summed.values()) == golden["max_summed_node_sends"]
+
+
+class TestSeamTheorem5:
+    """Theorem 5 budgets summed across shard runs.
+
+    A node simulated by ``t`` tiles transmits at most ``t`` times the
+    monolithic per-node budget; the total across all tiles is bounded by
+    the budget times the *replicated* node count, not ``n``.  Halo
+    replication inflates traffic by exactly the replication factor and no
+    more — seams add no unbounded chatter.
+    """
+
+    def test_per_node_summed_bound(self, seam_runs):
+        _, network, plan, runs = seam_runs
+        params = SkeletonParams()
+        bound = params.k + params.l + params.local_max_hops + 1
+        multiplicity = {}
+        for tile, _, _ in runs:
+            for node in tile.members:
+                multiplicity[node] = multiplicity.get(node, 0) + 1
+        summed = {}
+        for _, _, sends in runs:
+            for node, count in sends.items():
+                summed[node] = summed.get(node, 0) + count
+        for node, count in summed.items():
+            assert count <= multiplicity[node] * bound, node
+
+    def test_total_summed_bound(self, seam_runs):
+        _, _, _, runs = seam_runs
+        params = SkeletonParams()
+        bound = params.k + params.l + params.local_max_hops + 1
+        simulated_nodes = sum(len(tile.members) for tile, _, _ in runs)
+        total = sum(report.total_broadcasts for _, report, _ in runs)
+        assert total <= bound * simulated_nodes
+
+    def test_per_phase_budgets_hold_inside_every_tile(self, seam_runs):
+        _, _, _, runs = seam_runs
+        params = SkeletonParams()
+        budgets = {"nbr": params.k, "size": params.l,
+                   "index": params.local_max_hops, "site": 1}
+        for tile, report, _ in runs:
+            by_phase = report.by_phase()
+            for phase, budget in budgets.items():
+                assert by_phase[phase].max_node_sends <= budget, \
+                    (tile.tx, tile.ty, phase)
+
+
 def regenerate() -> None:  # pragma: no cover - manual tool
     """Rewrite the snapshot from the current implementation."""
     golden = _load_golden()
@@ -151,5 +269,29 @@ def regenerate() -> None:  # pragma: no cover - manual tool
     print(f"rewrote {GOLDEN_PATH}")
 
 
+def regenerate_seam() -> None:  # pragma: no cover - manual tool
+    """Rewrite the seam snapshot from the current implementation."""
+    if SEAM_GOLDEN_PATH.is_file():
+        golden = _seam_golden()
+    else:
+        golden = {"scenario": "mega_smoke", "num_nodes": None, "seed": 1,
+                  "grid": [2, 2]}
+        SEAM_GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    golden, network, plan, runs = _run_seam_tiles()
+    golden["built_nodes"] = network.num_nodes
+    golden["tile_nodes"] = [len(tile.members) for tile, _, _ in runs]
+    golden["tile_broadcasts"] = [r.total_broadcasts for _, r, _ in runs]
+    summed = {}
+    for _, _, sends in runs:
+        for node, count in sends.items():
+            summed[node] = summed.get(node, 0) + count
+    golden["summed_total_broadcasts"] = sum(
+        r.total_broadcasts for _, r, _ in runs)
+    golden["max_summed_node_sends"] = max(summed.values())
+    SEAM_GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"rewrote {SEAM_GOLDEN_PATH}")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual tool
     regenerate()
+    regenerate_seam()
