@@ -35,6 +35,24 @@ def test_bench_fault_degradation(benchmark, bench_scale):
     baseline_homotopic = {r["scenario"]: bool(r["homotopy_ok"])
                           for r in retry_rows if r["drop_rate"] == 0.0}
 
+    # Characterize the drop-rate-0 deviation when there is one: the known
+    # failure mode is *phantom loops* — excess cycles the loop classifier
+    # keeps where corridor witnesses are thin (at full scale Window
+    # reports 6 cycles against 4 preserved holes, two-holes 4 against 2;
+    # see EXPERIMENTS.md).  A baseline that is non-homotopic in the other
+    # direction — disconnected, or *missing* a hole's cycle — would be a
+    # real regression and must not hide behind the relative envelope.
+    for row in report.rows:
+        if row["drop_rate"] == 0.0 and not row["homotopy_ok"]:
+            assert row["connected"], (
+                f"{row['scenario']}: fault-free baseline is disconnected — "
+                f"not the known phantom-loop deviation")
+            assert row["cycles"] >= row["preserved_holes"], (
+                f"{row['scenario']}: fault-free baseline lost a hole "
+                f"(cycles={row['cycles']} < holes="
+                f"{row['preserved_holes']}) — not the known phantom-loop "
+                f"deviation")
+
     def no_worse_than_baseline(row):
         return bool(row["connected"]) and (
             bool(row["homotopy_ok"]) or not baseline_homotopic[row["scenario"]]

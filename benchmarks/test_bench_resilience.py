@@ -1,0 +1,64 @@
+"""E-RESILIENCE — supervised extraction under executor chaos.
+
+Runs the kill-rate sweep plus the targeted kill+corrupt drill on the
+Window scenario, asserts the acceptance envelope (every kill rate
+recovers bit-identically; supervision overhead stays within 2x of the
+unsupervised baseline at kill rate 0.1; the chaos drill retries,
+quarantines and still matches exactly), and records everything in
+``BENCH_resilience.json`` at the repository root.
+"""
+
+import json
+import platform
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_resilience
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_resilience.json"
+
+
+def test_bench_resilience(benchmark, bench_scale):
+    report = run_once(benchmark, lambda: run_resilience(scale=bench_scale))
+    print()
+    print(report.to_table())
+
+    sweep = [r for r in report.rows if r["arm"] == "kill-sweep"]
+    assert sweep, "kill-sweep arm produced no rows"
+
+    # Acceptance: with the 3-attempt budget every swept kill rate must
+    # recover to the bit-identical result — no degradation, no failures.
+    for row in sweep:
+        assert row["identical"], (
+            f"kill rate {row['kill_rate']} diverged from baseline")
+        assert not row["degraded"] and row["failures"] == 0
+        assert row["coverage"] == 1.0
+
+    # Faults actually fired somewhere in the sweep (the harness is live).
+    assert any(row["retries"] > 0 for row in sweep if row["kill_rate"] > 0)
+
+    # Acceptance: recovery overhead at kill rate 0.1 stays within 2x of
+    # the unsupervised serial baseline.
+    (at_tenth,) = [r for r in sweep if r["kill_rate"] == 0.1]
+    assert at_tenth["overhead"] <= 2.0, (
+        f"supervision overhead {at_tenth['overhead']}x exceeds the 2x "
+        f"envelope at kill rate 0.1")
+
+    # The targeted chaos drill: one kill + one corrupted artifact, zero
+    # quality loss.
+    (chaos,) = [r for r in report.rows if r["arm"] == "kill+corrupt"]
+    assert chaos["identical"], "kill+corrupt run diverged from baseline"
+    assert chaos["retries"] >= 1, "the injected kill was never retried"
+    assert chaos["quarantined"] >= 1, "the corrupt artifact went unnoticed"
+    assert not chaos["degraded"]
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "benchmark": "executor-chaos resilience sweep",
+        "scale": bench_scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": report.rows,
+        "notes": report.notes,
+    }, indent=2) + "\n")
+    print(f"wrote {OUTPUT_PATH}")

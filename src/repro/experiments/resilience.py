@@ -1,0 +1,166 @@
+"""E-RESILIENCE — supervised extraction under executor chaos.
+
+The fault experiments (:mod:`.faults`) injure the *radio*; this one
+injures the *executor*: worker kills and artifact corruption driven by a
+deterministic :class:`~repro.resilience.ExecutorFaultPlan`, with the
+:class:`~repro.resilience.ResilientRunner` supervising the sharded
+pipeline.  Three arms:
+
+* ``baseline`` — the unsupervised sharded run whose wall time anchors
+  the overhead ratios (and whose result every recovered arm must match
+  bit for bit);
+* ``kill-sweep`` — stochastic per-attempt worker kills at increasing
+  rates; with a 3-attempt budget virtually every task recovers, so each
+  cell asserts bit-identity and reports the recovery overhead;
+* ``kill+corrupt`` — the targeted chaos drill: one worker killed on its
+  first attempt *and* one cached artifact corrupted on disk.  The
+  supervisor retries the kill, the cache quarantines and recomputes the
+  rotten entry, and the extraction must come out bit-identical — zero
+  quality loss through a crash and a corruption in the same run.
+
+Wall-clock rows are machine-dependent (this is a benchmark, not a golden
+snapshot); everything else — results, counters, degradation — is a pure
+function of ``(seed, fault_seed, plan)``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from typing import Optional, Sequence
+
+from ..core.params import SkeletonParams
+from ..observability import Tracer, build_metrics
+from ..perf import ArtifactCache
+from ..resilience import (
+    ExecutorFaultPlan,
+    SupervisorPolicy,
+    corrupt_cache_entries,
+)
+from ..shard import diff_results, run_sharded
+from .faults import _build_scenario
+from .harness import ExperimentReport
+
+__all__ = ["run_resilience", "DEFAULT_KILL_RATES", "CHAOS_POLICY"]
+
+DEFAULT_KILL_RATES = (0.0, 0.05, 0.1, 0.2)
+
+#: The sweep's supervision policy: a 3-attempt budget and near-zero
+#: backoff (the sweep injects *deterministic* faults — waiting longer
+#: would not change the outcome, only the wall time).
+CHAOS_POLICY = SupervisorPolicy(max_attempts=3, backoff_base=0.001)
+
+
+def _timed_run(**kwargs):
+    t0 = time.perf_counter()
+    run = run_sharded(**kwargs)
+    return run, time.perf_counter() - t0
+
+
+def _supervision_totals(run):
+    totals = {"attempts": 0, "retries": 0, "speculations": 0, "failures": 0}
+    for counters in run.supervision.values():
+        for key in totals:
+            totals[key] += counters[key]
+    return totals
+
+
+def run_resilience(scale: float = 0.5, seed: int = 1,
+                   kill_rates: Sequence[float] = DEFAULT_KILL_RATES,
+                   name: str = "window",
+                   grid="2x2",
+                   fault_seed: int = 11,
+                   jobs: Optional[int] = None,
+                   cache=None, tracer=None) -> ExperimentReport:
+    """Sweep executor kill rates over the sharded *name* extraction.
+
+    One row per arm/rate with wall seconds, the overhead ratio against
+    the unsupervised baseline, supervision totals, and whether the
+    recovered result is bit-identical to the baseline.  The targeted
+    ``kill+corrupt`` arm additionally reports the quarantine count.
+    """
+    report = ExperimentReport(
+        "E-RESILIENCE",
+        f"supervised sharded extraction under executor chaos "
+        f"(max_attempts={CHAOS_POLICY.max_attempts}, grid={grid})",
+    )
+    params = SkeletonParams()
+    network = _build_scenario(name, seed, scale, cache, tracer)
+
+    baseline, serial_seconds = _timed_run(
+        network=network, params=params, grid=grid, jobs=jobs)
+    report.add_row(
+        scenario=name, arm="baseline", kill_rate=0.0,
+        nodes=network.num_nodes, wall_seconds=round(serial_seconds, 4),
+        overhead=1.0, retries=0, speculations=0, failures=0,
+        identical=True, degraded=False, coverage=1.0, quarantined=0,
+    )
+
+    for rate in kill_rates:
+        plan = ExecutorFaultPlan(seed=fault_seed, kill_probability=rate)
+        run, seconds = _timed_run(
+            network=network, params=params, grid=grid, jobs=jobs,
+            supervisor=CHAOS_POLICY, fault_plan=plan)
+        divergences = diff_results(baseline.result, run.result)
+        totals = _supervision_totals(run)
+        degraded = run.degraded
+        report.add_row(
+            scenario=name, arm="kill-sweep", kill_rate=rate,
+            nodes=network.num_nodes, wall_seconds=round(seconds, 4),
+            overhead=round(seconds / serial_seconds, 3),
+            retries=totals["retries"], speculations=totals["speculations"],
+            failures=totals["failures"],
+            identical=not divergences,
+            degraded=degraded is not None,
+            coverage=1.0 if degraded is None else round(degraded.coverage, 4),
+            quarantined=0,
+        )
+        if divergences and degraded is None:
+            report.add_note(
+                f"rate={rate:g}: diverged without degradation: "
+                f"{divergences[0]}")
+
+    # Targeted chaos drill: one killed worker + one corrupted artifact.
+    chaos_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        chaos_cache = ArtifactCache(disk_dir=chaos_dir)
+        run_sharded(network=network, params=params, grid=grid,
+                    cache=chaos_cache)  # warm the disk tier
+        victims = corrupt_cache_entries(chaos_dir, "shard:flood", limit=1)
+        plan = ExecutorFaultPlan(kill_tasks={("shard:stage1", 0): 1})
+        chaos_tracer = Tracer(record_events=False)
+        fresh_cache = ArtifactCache(disk_dir=chaos_dir)
+        run, seconds = _timed_run(
+            network=network, params=params, grid=grid,
+            cache=fresh_cache, tracer=chaos_tracer,
+            supervisor=CHAOS_POLICY, fault_plan=plan)
+        divergences = diff_results(baseline.result, run.result)
+        totals = _supervision_totals(run)
+        quarantined = build_metrics(chaos_tracer).total_quarantined
+        report.add_row(
+            scenario=name, arm="kill+corrupt", kill_rate=0.0,
+            nodes=network.num_nodes, wall_seconds=round(seconds, 4),
+            overhead=round(seconds / serial_seconds, 3),
+            retries=totals["retries"], speculations=totals["speculations"],
+            failures=totals["failures"],
+            identical=not divergences,
+            degraded=run.degraded is not None,
+            coverage=1.0 if run.degraded is None
+            else round(run.degraded.coverage, 4),
+            quarantined=quarantined,
+        )
+        report.add_note(
+            f"kill+corrupt: corrupted {len(victims)} artifact(s), "
+            f"quarantined {quarantined}, retried {totals['retries']} "
+            f"task(s), result "
+            f"{'identical' if not divergences else 'DIVERGED'}")
+    finally:
+        shutil.rmtree(chaos_dir, ignore_errors=True)
+
+    recovered = [r for r in report.rows
+                 if r["arm"] == "kill-sweep" and r["identical"]]
+    report.add_note(
+        f"kill-sweep: {len(recovered)}/{len(kill_rates)} rates recovered "
+        f"bit-identically")
+    return report

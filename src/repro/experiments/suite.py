@@ -21,6 +21,7 @@ smoke entry point.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network import FIG7_EPSILONS, FIG8_SCENARIOS
@@ -41,13 +42,15 @@ from .figures import (
     run_thm5_complexity,
 )
 from .harness import ExperimentReport
+from .resilience import run_resilience
 from .sharding import SHARD_EQ_NAMES, run_shard_equivalence
 
 __all__ = ["run_figure_suite", "suite_shards", "SUITE_RUNNERS"]
 
 #: Canonical runner order of the suite (DESIGN.md §4).
 SUITE_RUNNERS = ("fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                 "thm5", "sec5b", "baselines", "ablations", "shard")
+                 "thm5", "sec5b", "baselines", "ablations", "shard",
+                 "resilience")
 
 _RUNNER_FNS = {
     "fig1": run_fig1_pipeline,
@@ -62,6 +65,7 @@ _RUNNER_FNS = {
     "baselines": run_baseline_comparison,
     "ablations": run_ablations,
     "shard": run_shard_equivalence,
+    "resilience": run_resilience,
 }
 
 
@@ -85,6 +89,9 @@ def suite_shards(runners: Sequence[str]) -> List[Tuple[Tuple[int, int], str, Dic
         "baselines": [{"names": [name]} for name in ("window", "one_hole")],
         "ablations": [{}],
         "shard": [{"names": [name]} for name in SHARD_EQ_NAMES],
+        # Whole: the overhead column is a ratio against the baseline row
+        # timed in the same call, so the sweep cannot split across workers.
+        "resilience": [{}],
     }
     shards: List[Tuple[Tuple[int, int], str, Dict]] = []
     for order, runner in enumerate(runners):
@@ -157,6 +164,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--runners", nargs="*", default=None,
                         metavar="RUNNER", help=f"subset of {SUITE_RUNNERS}")
     args = parser.parse_args(argv)
+    try:
+        # Fail fast on an unusable worker count (e.g. REPRO_JOBS=abc)
+        # with a one-line error instead of a mid-suite traceback.
+        effective_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     cache = ArtifactCache(disk_dir=args.cache_dir) if args.cache_dir else \
         ArtifactCache()
     reports = run_figure_suite(scale=args.scale, seed=args.seed,

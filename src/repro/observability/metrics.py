@@ -85,6 +85,14 @@ class MetricsReport:
     #: artifact-cache lookups per stage (:mod:`repro.perf.cache`).
     cache_hits: Mapping[str, int] = field(default_factory=dict)
     cache_misses: Mapping[str, int] = field(default_factory=dict)
+    #: corrupt disk entries quarantined per stage (cache integrity layer).
+    cache_quarantined: Mapping[str, int] = field(default_factory=dict)
+    #: executor supervision counters per stage
+    #: (:class:`~repro.resilience.ResilientRunner`): attempt retries,
+    #: speculative straggler re-executions, and permanently failed tasks.
+    task_retries: Mapping[str, int] = field(default_factory=dict)
+    task_speculations: Mapping[str, int] = field(default_factory=dict)
+    task_failures: Mapping[str, int] = field(default_factory=dict)
     #: total wall-clock seconds per recorded span name — pipeline stages
     #: and the vectorized :class:`~repro.network.traversal.TraversalEngine`
     #: kernels alike, so the report covers the array backend and not just
@@ -142,6 +150,22 @@ class MetricsReport:
         total = self.total_cache_hits + self.total_cache_misses
         return self.total_cache_hits / total if total else 0.0
 
+    @property
+    def total_quarantined(self) -> int:
+        return sum(self.cache_quarantined.values())
+
+    @property
+    def total_task_retries(self) -> int:
+        return sum(self.task_retries.values())
+
+    @property
+    def total_task_speculations(self) -> int:
+        return sum(self.task_speculations.values())
+
+    @property
+    def total_task_failures(self) -> int:
+        return sum(self.task_failures.values())
+
 
 def build_metrics(tracer) -> MetricsReport:
     """Distil *tracer*'s aggregates into a :class:`MetricsReport`."""
@@ -186,5 +210,9 @@ def build_metrics(tracer) -> MetricsReport:
         site_windows=tracer.site_windows,
         cache_hits=dict(tracer.cache_hits),
         cache_misses=dict(tracer.cache_misses),
+        cache_quarantined=dict(tracer.cache_quarantined),
+        task_retries=dict(tracer.task_retries),
+        task_speculations=dict(tracer.task_speculations),
+        task_failures=dict(tracer.task_failures),
         stage_timings=timings,
     )

@@ -179,6 +179,13 @@ class Tracer:
         #: stage -> artifact-cache lookup counts (fed by ArtifactCache).
         self.cache_hits: Dict[str, int] = {}
         self.cache_misses: Dict[str, int] = {}
+        #: stage -> corrupt disk entries quarantined (fed by ArtifactCache
+        #: integrity checks).
+        self.cache_quarantined: Dict[str, int] = {}
+        #: stage -> supervision counters (fed by ResilientRunner).
+        self.task_retries: Dict[str, int] = {}
+        self.task_speculations: Dict[str, int] = {}
+        self.task_failures: Dict[str, int] = {}
         self._phases: Dict[str, _PhaseAgg] = {}
         self._sites: Dict[int, Tuple[float, float]] = {}
         self._next_seq = 0
@@ -301,6 +308,28 @@ class Tracer:
         """
         counters = self.cache_hits if hit else self.cache_misses
         counters[stage] = counters.get(stage, 0) + 1
+
+    def on_quarantine(self, stage: str) -> None:
+        """A corrupt on-disk cache entry failed its digest check and was
+        moved to quarantine (:mod:`repro.perf.cache`).  Counter-only, like
+        :meth:`on_cache` — integrity events happen outside any scheduler.
+        """
+        self.cache_quarantined[stage] = \
+            self.cache_quarantined.get(stage, 0) + 1
+
+    def on_task_retry(self, stage: str) -> None:
+        """A supervised executor task attempt failed and was retried
+        (:class:`~repro.resilience.ResilientRunner`)."""
+        self.task_retries[stage] = self.task_retries.get(stage, 0) + 1
+
+    def on_speculate(self, stage: str) -> None:
+        """A straggling executor task got a speculative duplicate."""
+        self.task_speculations[stage] = \
+            self.task_speculations.get(stage, 0) + 1
+
+    def on_task_failure(self, stage: str) -> None:
+        """A supervised executor task exhausted its attempt budget."""
+        self.task_failures[stage] = self.task_failures.get(stage, 0) + 1
 
     def on_timer(self, node: int, tag: str, time: float) -> None:
         self.timer_fires += 1

@@ -18,9 +18,22 @@ Cache lookups report hits and misses to the observability
 :class:`~repro.observability.tracer.Tracer`, so a
 :class:`~repro.observability.metrics.MetricsReport` carries the artifact
 cache hit rate next to the message-passing and traversal metrics.
+
+Disk entries are digest-verified on every read: corrupt artifacts are
+quarantined and recomputed, never deserialized (see
+:mod:`repro.perf.cache` and ``python -m repro.perf fsck``).  The
+supervision layer that retries failed workers lives one package up in
+:mod:`repro.resilience`.
 """
 
-from .cache import ArtifactCache, CACHE_VERSION, stable_digest
+from .cache import (
+    ARTIFACT_MAGIC,
+    ArtifactCache,
+    CACHE_VERSION,
+    decode_artifact,
+    encode_artifact,
+    stable_digest,
+)
 from .runner import (
     ParallelRunner,
     effective_jobs,
@@ -30,8 +43,11 @@ from .runner import (
 )
 
 __all__ = [
+    "ARTIFACT_MAGIC",
     "ArtifactCache",
     "CACHE_VERSION",
+    "decode_artifact",
+    "encode_artifact",
     "stable_digest",
     "ParallelRunner",
     "effective_jobs",

@@ -21,6 +21,17 @@ Two tiers:
 The cache never invalidates by time — content-addressed keys cannot go
 stale while the code that produced them is unchanged, which is exactly
 what :data:`CACHE_VERSION` asserts.
+
+**Integrity.**  Every disk entry is stored as a small header (format
+magic + the sha256 of the pickled payload) followed by the payload, and
+the digest is re-verified on *every* disk read.  An entry that fails the
+check — bit rot, a torn write, deliberate chaos-harness corruption — is
+never deserialized: it is moved into a ``quarantine/`` subdirectory
+(kept, not deleted, so corruption can be inspected post-mortem), counted
+per stage, reported through ``tracer.on_quarantine``, and the lookup
+becomes a miss that rebuilds and republishes the artifact.  ``fsck``
+performs the same verification over the whole store offline
+(``python -m repro.perf fsck DIR``).
 """
 
 from __future__ import annotations
@@ -36,11 +47,19 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ArtifactCache", "CACHE_VERSION", "stable_digest"]
+__all__ = ["ArtifactCache", "CACHE_VERSION", "ARTIFACT_MAGIC",
+           "stable_digest", "encode_artifact", "decode_artifact"]
 
 #: Bump when a cached artifact's *meaning* changes (pipeline semantics,
 #: serialization layout).  Old disk entries stop matching immediately.
-CACHE_VERSION = 1
+#: Version 2: disk entries gained the digest-verified integrity header.
+CACHE_VERSION = 2
+
+#: Disk-entry format magic; the trailing newline keeps the header
+#: greppable (``head -c 71`` shows magic + digest).
+ARTIFACT_MAGIC = b"RART2\n"
+_DIGEST_LEN = 64  # sha256 hex
+_HEADER_LEN = len(ARTIFACT_MAGIC) + _DIGEST_LEN + 1
 
 _DEFAULT_MAX_ENTRIES = 256
 _DEFAULT_MAX_DISK_BYTES = 512 * 1024 * 1024
@@ -86,6 +105,40 @@ def _canonical(obj: Any) -> str:
     raise TypeError(f"cannot build a stable cache key from {type(obj)!r}")
 
 
+def encode_artifact(value: Any) -> bytes:
+    """Serialize *value* with its integrity header.
+
+    Layout: ``RART2\\n`` + 64 hex chars of ``sha256(payload)`` + ``\\n``
+    + the pickled payload.  The digest covers exactly the bytes that will
+    be unpickled, so a verified read can never deserialize rotten data.
+    """
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return ARTIFACT_MAGIC + digest + b"\n" + payload
+
+
+def decode_artifact(blob: bytes) -> Tuple[str, Optional[bytes]]:
+    """``(status, payload)`` for a raw disk entry.
+
+    ``"ok"`` — header present and digest matches; ``"corrupt"`` —
+    anything else (foreign/legacy format, truncated header, torn payload,
+    flipped bits).  The payload is returned only on ``"ok"``.
+    """
+    if not blob.startswith(ARTIFACT_MAGIC) or len(blob) < _HEADER_LEN \
+            or blob[_HEADER_LEN - 1:_HEADER_LEN] != b"\n":
+        return "corrupt", None
+    digest = blob[len(ARTIFACT_MAGIC):len(ARTIFACT_MAGIC) + _DIGEST_LEN]
+    payload = blob[_HEADER_LEN:]
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        return "corrupt", None
+    return "ok", payload
+
+
+def _stage_of(key: str) -> str:
+    """The stage name embedded in a versioned cache key/file stem."""
+    return key.rsplit("-", 1)[0]
+
+
 def stable_digest(*parts: Any) -> str:
     """SHA-256 digest over the canonical form of *parts*.
 
@@ -126,6 +179,7 @@ class ArtifactCache:
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
+        self._quarantined: Dict[str, int] = {}
 
     # -- keys ---------------------------------------------------------------
 
@@ -147,7 +201,7 @@ class ArtifactCache:
         hit rate.
         """
         key = self.make_key(stage, key_parts)
-        hit, value = self._lookup(key)
+        hit, value = self._lookup(key, stage=stage, tracer=tracer)
         if hit:
             self._hits[stage] = self._hits.get(stage, 0) + 1
         else:
@@ -160,7 +214,8 @@ class ArtifactCache:
         self._store(key, value)
         return value
 
-    def _lookup(self, key: str) -> Tuple[bool, Any]:
+    def _lookup(self, key: str, stage: Optional[str] = None,
+                tracer=None) -> Tuple[bool, Any]:
         if key in self._entries:
             self._entries.move_to_end(key)
             return True, self._entries[key]
@@ -168,15 +223,41 @@ class ArtifactCache:
             path = self.disk_dir / f"{key}.pkl"
             if path.is_file():
                 try:
-                    with path.open("rb") as fh:
-                        value = pickle.load(fh)
-                except (OSError, pickle.UnpicklingError, EOFError):
-                    # A torn write (e.g. two processes racing) is treated
-                    # as a miss; the rebuilt artifact overwrites it.
+                    blob = path.read_bytes()
+                except OSError:  # pragma: no cover - concurrent eviction
                     return False, None
-                self._remember(key, value)
-                return True, value
+                status, payload = decode_artifact(blob)
+                if status == "ok":
+                    try:
+                        value = pickle.loads(payload)
+                    except Exception:  # noqa: BLE001 - digest passed but
+                        # the pickle itself is unloadable (e.g. a class
+                        # renamed since the entry was written)
+                        status = "corrupt"
+                    else:
+                        self._remember(key, value)
+                        return True, value
+                # Digest mismatch, foreign format, or torn write: the
+                # entry is untrustworthy.  Quarantine it (never silently
+                # deserialize, never destroy the evidence) and miss — the
+                # caller rebuilds and republishes under the same key.
+                self._quarantine_entry(path, stage or _stage_of(key),
+                                       tracer=tracer)
         return False, None
+
+    def _quarantine_entry(self, path: Path, stage: str, tracer=None) -> None:
+        try:
+            qdir = self.quarantine_dir
+            qdir.mkdir(parents=True, exist_ok=True)
+            path.replace(qdir / path.name)
+        except OSError:  # pragma: no cover - permissions / races
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._quarantined[stage] = self._quarantined.get(stage, 0) + 1
+        if tracer is not None:
+            tracer.on_quarantine(stage)
 
     def _store(self, key: str, value: Any) -> None:
         self._remember(key, value)
@@ -184,8 +265,7 @@ class ArtifactCache:
             path = self.disk_dir / f"{key}.pkl"
             tmp = path.with_suffix(".tmp%d" % os.getpid())
             try:
-                with tmp.open("wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                tmp.write_bytes(encode_artifact(value))
                 tmp.replace(path)  # atomic publish
             except OSError:  # pragma: no cover - disk full / permissions
                 tmp.unlink(missing_ok=True)
@@ -212,6 +292,53 @@ class ArtifactCache:
                 oldest.unlink()
             except OSError:  # pragma: no cover - concurrent eviction
                 pass
+
+    # -- integrity ----------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved (``<disk_dir>/quarantine``)."""
+        if self.disk_dir is None:
+            raise ValueError("quarantine requires a disk-backed cache")
+        return self.disk_dir / "quarantine"
+
+    @property
+    def quarantined(self) -> Dict[str, int]:
+        """Per-stage count of entries quarantined by this instance."""
+        return dict(self._quarantined)
+
+    def fsck(self, deep: bool = False, quarantine: bool = True,
+             tracer=None) -> Dict[str, int]:
+        """Verify every on-disk entry's integrity header and digest.
+
+        ``deep`` additionally unpickles each verified payload (catching
+        entries whose bytes are intact but whose pickle no longer loads).
+        Corrupt entries are quarantined unless ``quarantine=False`` (a
+        dry run).  Returns ``{"ok": .., "corrupt": .., "quarantined": ..}``.
+        """
+        if self.disk_dir is None:
+            raise ValueError("fsck requires a disk-backed cache")
+        counts = {"ok": 0, "corrupt": 0, "quarantined": 0}
+        for path in sorted(self.disk_dir.glob("*.pkl")):
+            try:
+                blob = path.read_bytes()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            status, payload = decode_artifact(blob)
+            if status == "ok" and deep:
+                try:
+                    pickle.loads(payload)
+                except Exception:  # noqa: BLE001
+                    status = "corrupt"
+            if status == "ok":
+                counts["ok"] += 1
+                continue
+            counts["corrupt"] += 1
+            if quarantine:
+                self._quarantine_entry(path, _stage_of(path.stem),
+                                       tracer=tracer)
+                counts["quarantined"] += 1
+        return counts
 
     # -- introspection ------------------------------------------------------
 

@@ -1,0 +1,52 @@
+"""Resilient execution: supervision, speculation, integrity, degradation.
+
+The paper's protocol layer already tolerates lossy radios
+(:mod:`repro.runtime.faults`); this package gives the *execution
+substrate* — the :class:`~repro.perf.ParallelRunner` process pool, the
+:mod:`repro.shard` tiled pipeline and the on-disk
+:class:`~repro.perf.ArtifactCache` — the same default assumption: workers
+crash, shards straggle, artifacts rot, and the pipeline must carry on.
+
+* :class:`ExecutorFaultPlan` — deterministic chaos schedule (worker
+  kills, straggler delays, artifact corruption) keyed by the splitmix64
+  idiom shared with the radio fault layer;
+* :class:`SupervisorPolicy` / :class:`ResilientRunner` — per-task retry
+  with seeded exponential backoff, percentile-deadline straggler
+  speculation with first-result-wins, and process-pool resurrection on
+  hard worker death;
+* :class:`DegradedReport` — the honest accounting a partial extraction
+  ships with when a shard is permanently lost (wired through
+  :func:`repro.shard.run_sharded`);
+* ``python -m repro.resilience`` — the kill-and-recover chaos smoke
+  harness CI runs.
+
+With no fault plan and no real failures every layer here is
+pass-through: supervised runs are bit-identical to the plain
+``ParallelRunner`` path, which the equivalence batteries assert.
+"""
+
+from .degrade import DegradedReport, grid_seams, quality_verdict
+from .faults import (
+    ExecutorFaultPlan,
+    InjectedWorkerCrash,
+    corrupt_cache_entries,
+)
+from .supervisor import (
+    ResilientRunner,
+    SupervisorPolicy,
+    TaskFailedError,
+    TaskOutcome,
+)
+
+__all__ = [
+    "DegradedReport",
+    "ExecutorFaultPlan",
+    "InjectedWorkerCrash",
+    "ResilientRunner",
+    "SupervisorPolicy",
+    "TaskFailedError",
+    "TaskOutcome",
+    "corrupt_cache_entries",
+    "grid_seams",
+    "quality_verdict",
+]

@@ -1,0 +1,121 @@
+"""Partial-result accounting: what a degraded extraction is missing.
+
+When a shard exhausts its retry budget the sharded pipeline no longer
+raises — it merges what it has and attaches a :class:`DegradedReport`
+stating exactly what was lost (which tiles, which sites, which seams)
+and whether the partial skeleton still clears the repository's standing
+quality gates (connectivity, homotopy, medialness — the metrics of
+:mod:`repro.analysis.metrics`).
+
+The report is deliberately *honest about unknowns*: mega-fields carry no
+continuous ground-truth field, so their verdict is ``"unknown"`` rather
+than a vacuous pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Tuple
+
+__all__ = ["DegradedReport", "grid_seams", "quality_verdict"]
+
+
+def grid_seams(grid: Tuple[int, int],
+               failed_tiles: Iterable[int]) -> Tuple[Tuple[int, int], ...]:
+    """The tile seams a failed tile set touches.
+
+    One ``(failed, neighbour)`` pair per 4-neighbourhood edge between a
+    failed tile and any in-grid neighbour (failed or not): these are the
+    seams whose stitched artifacts can no longer be trusted to match a
+    monolithic run.  Pairs are sorted and deduplicated.
+    """
+    gx, gy = grid
+    failed = set(int(t) for t in failed_tiles)
+    seams = set()
+    for tile in failed:
+        tx, ty = tile % gx, tile // gx
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = tx + dx, ty + dy
+            if 0 <= nx < gx and 0 <= ny < gy:
+                neighbour = ny * gx + nx
+                seams.add((min(tile, neighbour), max(tile, neighbour)))
+    return tuple(sorted(seams))
+
+
+def quality_verdict(network, skeleton_nodes, skeleton_edges):
+    """``(quality, verdict)`` for a partial skeleton.
+
+    Runs the standing :func:`~repro.analysis.metrics.evaluate_skeleton`
+    gates when the network carries a ground-truth field; verdict is
+    ``"pass"`` when the partial skeleton is still connected and
+    homotopy-correct, ``"degraded"`` otherwise, and ``"unknown"`` when no
+    field is attached (mega-fields) or the skeleton is empty.
+    """
+    if network.field is None or not skeleton_nodes:
+        return None, "unknown"
+    from ..analysis.metrics import evaluate_skeleton
+
+    quality = evaluate_skeleton(network, skeleton_nodes, skeleton_edges)
+    verdict = "pass" if quality.connected and quality.homotopy_ok \
+        else "degraded"
+    return quality, verdict
+
+
+@dataclass(frozen=True)
+class DegradedReport:
+    """What a partial extraction is missing, and how much it still covers.
+
+    Attributes:
+        total_nodes: network size.
+        missing_nodes: nodes whose stage-1 statistics never arrived
+            (owned by permanently failed tiles).
+        failed_tiles: flat tile ids whose stage-1 shard exhausted its
+            attempt budget.
+        lost_sites: critical nodes whose Voronoi flood batch failed —
+            their cells are absorbed by surviving neighbours.
+        dropped_pairs: site pairs whose connector path could not be
+            realized (a paths shard failed); their skeleton arcs are
+            absent.
+        affected_seams: tile-seam pairs adjacent to a failed tile (see
+            :func:`grid_seams`).
+        task_failures: per-stage count of permanently failed tasks.
+        quality: the partial skeleton's
+            :class:`~repro.analysis.metrics.SkeletonQuality` when ground
+            truth exists, else None.
+        verdict: ``"pass"`` / ``"degraded"`` / ``"unknown"`` — see
+            :func:`quality_verdict`.
+    """
+
+    total_nodes: int
+    missing_nodes: int
+    failed_tiles: Tuple[int, ...] = ()
+    lost_sites: Tuple[int, ...] = ()
+    dropped_pairs: Tuple[Tuple[int, int], ...] = ()
+    affected_seams: Tuple[Tuple[int, int], ...] = ()
+    task_failures: Mapping[str, int] = field(default_factory=dict)
+    quality: Optional[object] = None
+    verdict: str = "unknown"
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of nodes whose stage-1 statistics survived."""
+        if self.total_nodes == 0:
+            return 1.0
+        return 1.0 - self.missing_nodes / self.total_nodes
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when anything at all was lost."""
+        return bool(self.missing_nodes or self.failed_tiles
+                    or self.lost_sites or self.dropped_pairs)
+
+    def summary(self) -> str:
+        """One line for logs and CLI output."""
+        return (
+            f"coverage={self.coverage:.3f} "
+            f"failed_tiles={list(self.failed_tiles)} "
+            f"lost_sites={len(self.lost_sites)} "
+            f"dropped_pairs={len(self.dropped_pairs)} "
+            f"affected_seams={len(self.affected_seams)} "
+            f"verdict={self.verdict}"
+        )

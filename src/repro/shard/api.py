@@ -41,6 +41,14 @@ from ..core.refine import refine_skeleton
 from ..core.result import SkeletonResult
 from ..network.graph import SensorNetwork
 from ..perf import ParallelRunner, effective_jobs, set_task_context
+from ..resilience import (
+    DegradedReport,
+    ExecutorFaultPlan,
+    ResilientRunner,
+    SupervisorPolicy,
+    grid_seams,
+    quality_verdict,
+)
 from .merge import (
     assemble_coarse,
     assemble_voronoi,
@@ -66,10 +74,21 @@ class ShardRun:
     #: wall-clock seconds per phase, in execution order.
     timings: Dict[str, float] = field(default_factory=dict)
     num_flood_batches: int = 0
+    #: populated iff the run was supervised and lost work permanently —
+    #: ``None`` means the result is complete (bit-identical to monolithic).
+    degraded: Optional[DegradedReport] = None
+    #: per-stage supervision counters (attempts / retries / speculations /
+    #: failures) from the :class:`~repro.resilience.ResilientRunner`;
+    #: empty for unsupervised runs.
+    supervision: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return sum(self.timings.values())
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded is not None and self.degraded.is_degraded
 
 
 def _group_by_tile(items: List[int], owner_of) -> List[List[int]]:
@@ -91,21 +110,59 @@ def run_sharded(network: SensorNetwork,
                 grid=(2, 2),
                 jobs: Optional[int] = None,
                 cache=None,
-                tracer: Optional["Tracer"] = None) -> ShardRun:
+                tracer: Optional["Tracer"] = None,
+                supervisor: Optional[SupervisorPolicy] = None,
+                fault_plan: Optional[ExecutorFaultPlan] = None) -> ShardRun:
     """Tile, extract and merge; the full accounting variant.
 
     ``jobs`` follows the suite convention (explicit > ``REPRO_JOBS`` >
     serial); *cache* memoizes per-shard artifacts across runs and
     processes; *tracer* records one span per phase so shard runs show up
     in the MetricsReport next to monolithic stage spans.
+
+    Passing *supervisor* (a :class:`~repro.resilience.SupervisorPolicy`)
+    or *fault_plan* (an :class:`~repro.resilience.ExecutorFaultPlan`)
+    swaps the plain :class:`~repro.perf.ParallelRunner` for the
+    :class:`~repro.resilience.ResilientRunner`: failed shard tasks are
+    retried with backoff, stragglers speculate, and a task that exhausts
+    its budget no longer aborts the run — the merge degrades gracefully
+    and the returned :class:`ShardRun` carries a
+    :class:`~repro.resilience.DegradedReport` stating exactly what was
+    lost.  With no injected faults and none occurring naturally, the
+    supervised run is bit-identical to the unsupervised one.
     """
     params = params if params is not None else SkeletonParams()
     worker_count = effective_jobs(jobs)
-    runner = ParallelRunner(worker_count)
+    supervised = supervisor is not None or fault_plan is not None
+    if supervised:
+        runner = ResilientRunner(jobs=worker_count, policy=supervisor,
+                                 fault_plan=fault_plan, tracer=tracer)
+    else:
+        runner = ParallelRunner(worker_count)
     cache_dir = (str(cache.disk_dir)
                  if cache is not None and getattr(cache, "disk_dir", None)
                  is not None else None)
     timings: Dict[str, float] = {}
+    task_failures: Dict[str, int] = {}
+
+    def run_tasks(fn, configs, stage: str):
+        """Map *fn* over *configs*; returns ``(results, failed_indices)``.
+
+        Unsupervised runs keep the original fail-fast semantics (any
+        worker exception propagates); supervised runs drop exhausted
+        tasks from the result list and report their config indices.
+        """
+        previous = set_task_context(cache, tracer)
+        try:
+            if not supervised:
+                return runner.map(fn, configs), []
+            outcomes = runner.map(fn, configs, stage=stage)
+        finally:
+            set_task_context(*previous)
+        failed = [o.index for o in outcomes if not o.ok]
+        if failed:
+            task_failures[stage] = len(failed)
+        return [o.result for o in outcomes if o.ok], failed
 
     def timed(name: str):
         class _Timer:
@@ -130,6 +187,32 @@ def run_sharded(network: SensorNetwork,
         return ShardRun(result=empty_skeleton_result(network, params),
                         plan=plan, jobs=worker_count, timings=timings)
 
+    failed_tiles: Tuple[int, ...] = ()
+    missing_nodes = 0
+    lost_sites: Tuple[int, ...] = ()
+    dropped_pairs: Tuple[Tuple[int, int], ...] = ()
+
+    def build_degraded(skeleton_nodes, skeleton_edges):
+        """The run's loss accounting, or None when nothing was lost."""
+        if not (failed_tiles or lost_sites or dropped_pairs):
+            return None
+        quality, verdict = quality_verdict(network, skeleton_nodes,
+                                           skeleton_edges)
+        return DegradedReport(
+            total_nodes=n,
+            missing_nodes=missing_nodes,
+            failed_tiles=failed_tiles,
+            lost_sites=lost_sites,
+            dropped_pairs=dropped_pairs,
+            affected_seams=grid_seams(plan.grid, failed_tiles),
+            task_failures=dict(task_failures),
+            quality=quality,
+            verdict=verdict,
+        )
+
+    def counters():
+        return dict(runner.stage_counters) if supervised else {}
+
     # Phase 1 — per-tile stage 1 over halo-expanded subgraphs.
     with timed("shard:stage1"):
         configs = []
@@ -146,31 +229,37 @@ def run_sharded(network: SensorNetwork,
                 "owned_local": owned_local, "params": params,
                 "cache_dir": cache_dir,
             })
-        previous = set_task_context(cache, tracer)
-        try:
-            tile_results = runner.map(stage1_tile_task, configs)
-        finally:
-            set_task_context(*previous)
-        index_data, sites = merge_stage1(n, tile_results)
+        tile_results, failed = run_tasks(stage1_tile_task, configs,
+                                         "shard:stage1")
+        if failed:
+            failed_tiles = tuple(sorted(configs[i]["tile"] for i in failed))
+            missing_nodes = sum(len(plan.tiles[t].owned)
+                                for t in failed_tiles)
+        index_data, sites = merge_stage1(n, tile_results,
+                                         allow_partial=bool(failed))
 
     if not sites:
         # Only reachable on degenerate inputs — a non-empty network always
-        # elects at least its global (index, id) maximum.
+        # elects at least its global (index, id) maximum — or when every
+        # stage-1 shard failed permanently under supervision.
         return ShardRun(
             result=empty_skeleton_result(network, params,
                                          index_data=index_data),
-            plan=plan, jobs=worker_count, timings=timings)
+            plan=plan, jobs=worker_count, timings=timings,
+            degraded=build_degraded((), ()), supervision=counters())
 
     # Phase 2 — site-sharded Voronoi flooding over the full graph.
     with timed("shard:flood"):
         batches = _group_by_tile(sites, plan.owner_of)
         configs = [{"network": network, "sites": batch, "params": params,
                     "cache_dir": cache_dir} for batch in batches]
-        previous = set_task_context(cache, tracer)
-        try:
-            flood_results = runner.map(flood_batch_task, configs)
-        finally:
-            set_task_context(*previous)
+        flood_results, failed = run_tasks(flood_batch_task, configs,
+                                          "shard:flood")
+        if failed:
+            lost_sites = tuple(sorted(
+                site for i in failed for site in batches[i]))
+            lost = set(lost_sites)
+            sites = [s for s in sites if s not in lost]
         records = merge_flood_records(n, params.alpha, flood_results)
         voronoi = assemble_voronoi(network, sites, records)
 
@@ -191,15 +280,18 @@ def run_sharded(network: SensorNetwork,
             "requests": [(site, tuple(sorted(requests_by_site[site])))
                          for site in batch],
         } for batch in site_batches]
-        previous = set_task_context(cache, tracer)
-        try:
-            path_results = runner.map(paths_batch_task, configs)
-        finally:
-            set_task_context(*previous)
+        path_results, failed = run_tasks(paths_batch_task, configs,
+                                         "shard:paths")
         resolved: Dict[Tuple[int, int], List[int]] = {}
         for part in path_results:
             resolved.update(part)
-        coarse = assemble_coarse(network, sites, connectors, plans, resolved)
+        if failed:
+            dropped_pairs = tuple(sorted(
+                tuple(sorted(pair))
+                for pair, (sa, na), (sb, nb), _joined in plans
+                if (sa, na) not in resolved or (sb, nb) not in resolved))
+        coarse = assemble_coarse(network, sites, connectors, plans, resolved,
+                                 allow_partial=bool(dropped_pairs))
 
     # Phase 4 — merge-side finish: by-products, seam-aware loop
     # classification on the merged site graph, refinement.
@@ -227,7 +319,9 @@ def run_sharded(network: SensorNetwork,
         boundary_nodes=boundary,
     )
     return ShardRun(result=result, plan=plan, jobs=worker_count,
-                    timings=timings, num_flood_batches=len(batches))
+                    timings=timings, num_flood_batches=len(batches),
+                    degraded=build_degraded(skeleton.nodes, skeleton.edges),
+                    supervision=counters())
 
 
 def extract_skeleton_sharded(network: SensorNetwork,
@@ -236,7 +330,10 @@ def extract_skeleton_sharded(network: SensorNetwork,
                              jobs: Optional[int] = None,
                              cache=None,
                              tracer: Optional["Tracer"] = None,
+                             supervisor: Optional[SupervisorPolicy] = None,
+                             fault_plan: Optional[ExecutorFaultPlan] = None,
                              ) -> SkeletonResult:
     """One-call sharded extraction, returning just the result record."""
     return run_sharded(network, params, grid=grid, jobs=jobs, cache=cache,
-                       tracer=tracer).result
+                       tracer=tracer, supervisor=supervisor,
+                       fault_plan=fault_plan).result

@@ -1,0 +1,51 @@
+"""CLI argument sanity: garbage worker counts fail with one-line errors.
+
+A bad ``REPRO_JOBS`` (or ``--jobs``) must produce ``error: ...`` on
+stderr and exit status 2 from every entry point — never an uncaught
+traceback halfway into a sweep.  Also smoke-tests the chaos drill CLI's
+two modes end to end.
+"""
+
+import pytest
+
+from repro.experiments.suite import main as suite_main
+from repro.resilience.__main__ import main as chaos_main
+from repro.shard.__main__ import main as shard_main
+
+ENTRY_POINTS = [
+    ("suite", lambda: suite_main(["--runners", "fig1", "--scale", "0.1"])),
+    ("shard", lambda: shard_main(["--scenario", "window", "--nodes", "50"])),
+    ("chaos", lambda: chaos_main(["--mode", "degrade", "--nodes", "50"])),
+]
+
+
+@pytest.mark.parametrize("name,invoke", ENTRY_POINTS,
+                         ids=[name for name, _ in ENTRY_POINTS])
+def test_garbage_repro_jobs_is_a_one_line_error(name, invoke, monkeypatch,
+                                                capsys):
+    monkeypatch.setenv("REPRO_JOBS", "abc")
+    assert invoke() == 2
+    err = capsys.readouterr().err
+    assert err == "error: REPRO_JOBS must be an integer, got 'abc'\n"
+
+
+@pytest.mark.parametrize("jobs", ["0", "-3"])
+def test_nonpositive_repro_jobs_is_a_one_line_error(jobs, monkeypatch,
+                                                    capsys):
+    monkeypatch.setenv("REPRO_JOBS", jobs)
+    assert shard_main(["--scenario", "window", "--nodes", "50"]) == 2
+    assert capsys.readouterr().err == "error: jobs must be >= 1\n"
+
+
+def test_chaos_cli_recover_mode(capsys):
+    assert chaos_main(["--mode", "recover", "--nodes", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined=1" in out
+    assert "result bit-identical" in out
+
+
+def test_chaos_cli_degrade_mode(capsys):
+    assert chaos_main(["--mode", "degrade", "--nodes", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "degraded: coverage=" in out
+    assert "partial skeleton connected" in out

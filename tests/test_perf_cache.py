@@ -17,7 +17,12 @@ from repro.core.params import SkeletonParams
 from repro.geometry import Point
 from repro.network import QuasiUnitDiskRadio, UnitDiskRadio, build_network
 from repro.observability import Tracer, build_metrics
-from repro.perf import ArtifactCache, CACHE_VERSION, stable_digest
+from repro.perf import (
+    ArtifactCache,
+    CACHE_VERSION,
+    decode_artifact,
+    stable_digest,
+)
 from repro.perf import cache as cache_mod
 
 
@@ -127,9 +132,12 @@ def test_torn_disk_entry_treated_as_miss(tmp_path):
     path.write_bytes(b"\x80\x04 torn")  # simulate a crashed writer
     fresh = ArtifactCache(disk_dir=tmp_path)
     assert fresh.get_or_build("s", (1,), lambda: "rebuilt") == "rebuilt"
-    # The rebuilt artifact overwrote the torn file.
-    with path.open("rb") as fh:
-        assert pickle.load(fh) == "rebuilt"
+    # The torn entry was quarantined as evidence (never deleted) and the
+    # rebuilt artifact verifies under the digest-checked disk format.
+    assert (fresh.quarantine_dir / path.name).read_bytes() == b"\x80\x04 torn"
+    assert decode_artifact(path.read_bytes()) == ("ok", pickle.dumps(
+        "rebuilt", protocol=pickle.HIGHEST_PROTOCOL))
+    assert fresh.quarantined == {"s": 1}
 
 
 def test_disk_cap_evicts_oldest(tmp_path):
