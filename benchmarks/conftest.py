@@ -12,6 +12,16 @@ import os
 
 import pytest
 
+try:
+    import repro  # noqa: F401 - probe the src/ layout before anything else
+except ModuleNotFoundError as exc:  # pragma: no cover - misconfiguration aid
+    if (exc.name or "").split(".")[0] == "repro":
+        raise ModuleNotFoundError(
+            "cannot import 'repro': the repo uses a src/ layout, so run the "
+            "benches with PYTHONPATH=src (tier-1 convention: "
+            "PYTHONPATH=src python -m pytest -x -q)") from exc
+    raise
+
 
 @pytest.fixture(scope="session")
 def bench_scale() -> float:

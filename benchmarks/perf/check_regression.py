@@ -3,7 +3,8 @@
 Compares every timing the two reports share — traversal stage times per
 (scenario, nodes, backend) for ``BENCH_traversal.json``, per-arm suite
 wall clocks for ``BENCH_parallel.json``, per-scenario shard phase times
-for ``BENCH_shard.json`` — and *warns* when the fresh number is more than
+for ``BENCH_shard.json``, per-arm wall clocks and p99 latencies for
+``BENCH_serving.json`` — and *warns* when the fresh number is more than
 ``--threshold`` (default 25%) slower.  Slowdowns exit 0 unless ``--gate``
 is passed: CI machines are noisy and a committed baseline may come from
 different hardware, so timing drift surfaces without blocking merges.
@@ -41,9 +42,17 @@ def timing_entries(report: Dict) -> Dict[str, float]:
             for stage in ("stage1_s", "stage2_s"):
                 if stage in stages:
                     entries[f"{tag}/{backend}/{stage}"] = stages[stage]
-    for arm, data in report.get("arms", {}).items():  # BENCH_parallel.json
+    # BENCH_parallel.json and BENCH_serving.json both use an "arms" map;
+    # the serving report is distinguished by its benchmark name and also
+    # contributes its p99 latencies (converted to seconds).
+    serving = report.get("benchmark") == "serving"
+    prefix = "serving" if serving else "suite"
+    for arm, data in report.get("arms", {}).items():
         if "wall_s" in data:
-            entries[f"suite/{arm}/wall_s"] = data["wall_s"]
+            entries[f"{prefix}/{arm}/wall_s"] = data["wall_s"]
+        if serving and "latency_p99_ms" in data:
+            entries[f"{prefix}/{arm}/latency_p99_s"] = \
+                data["latency_p99_ms"] / 1e3
     for row in report.get("scenarios", ()):  # BENCH_shard.json shape
         tag = f"shard/{row['scenario']}"
         if "wall_s" in row:

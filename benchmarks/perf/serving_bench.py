@@ -1,0 +1,181 @@
+"""Sustained-throughput benchmark for the serving layer.
+
+Drives the same seeded Zipf closed-loop workload
+(:mod:`repro.serving.workload`) through four service configurations —
+the cold/warm × dedup-off/dedup-on square — and emits
+``BENCH_serving.json`` at the repository root:
+
+* ``cold`` — no result cache, no dedup: every request is a fresh
+  pipeline execution (the lower bound the other arms are measured
+  against);
+* ``cold_dedup`` — no result cache, dedup on: coalescing identical
+  in-flight requests is the only saving;
+* ``warm`` — a result cache populated by a priming pass, dedup off:
+  pure content-addressed cache serving;
+* ``warm_dedup`` — populated cache *and* dedup: the production
+  configuration.
+
+Each arm reports sustained requests/sec and p50/p99/max latency, plus
+the hit / dedup / computed counters that explain the throughput.  After
+every arm the bench asserts that the artifact the service returns for
+each catalog network is bit-identical to a direct
+:func:`~repro.core.extract_skeleton` run — speed claims about a serving
+layer are only meaningful if the served bytes are right.
+
+Run directly::
+
+    PYTHONPATH=src python -m benchmarks.perf.serving_bench
+
+or through pytest (writes the same JSON)::
+
+    pytest -m perf benchmarks/perf/test_perf_serving.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import SkeletonParams, extract_skeleton
+from repro.serving import (
+    ServiceConfig,
+    SkeletonService,
+    WorkloadSpec,
+    build_catalog,
+    run_workload,
+)
+from repro.shard import diff_results
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT_PATH = REPO_ROOT / "BENCH_serving.json"
+
+
+def _assert_served_bits(service: SkeletonService, catalog,
+                        references: List, arm: str) -> None:
+    """Every catalog network served by *service* must be bit-identical to
+    its direct pipeline run — whatever path (compute, cache, dedup) the
+    arm resolved it through."""
+    for network, reference in zip(catalog, references):
+        response = service.request(network, "result")
+        assert response.status == "ok", (
+            f"arm {arm}: serving {network.content_hash()[:12]} "
+            f"returned {response.status}")
+        mismatches = diff_results(reference, response.artifact)
+        assert mismatches == [], (
+            f"arm {arm}: served artifact diverged from direct pipeline "
+            f"run:\n  " + "\n  ".join(mismatches))
+
+
+def _arm_entry(report, verified: bool) -> Dict:
+    return {
+        "wall_s": round(report.elapsed_s, 3),
+        "rps": round(report.rps, 1),
+        "latency_p50_ms": round(report.latency_p50 * 1e3, 3),
+        "latency_p99_ms": round(report.latency_p99 * 1e3, 3),
+        "latency_max_ms": round(report.latency_max * 1e3, 3),
+        "ok": report.ok,
+        "shed": report.shed,
+        "failed": report.failed,
+        "computed": report.computed,
+        "cache_hits": report.cache_hits,
+        "dedup_hits": report.dedup_hits,
+        "identical_to_direct": verified,
+    }
+
+
+def run_serving_bench(seed: int = 7, requests: int = 120, clients: int = 6,
+                      catalog_size: int = 6, num_nodes: int = 220,
+                      zipf_s: float = 1.2) -> Dict:
+    """Benchmark the four arms; every arm's output is verified."""
+    spec = WorkloadSpec(seed=seed, requests=requests, clients=clients,
+                        catalog_size=catalog_size, num_nodes=num_nodes,
+                        zipf_s=zipf_s)
+    catalog = build_catalog(spec)
+    references = [extract_skeleton(net, SkeletonParams()) for net in catalog]
+
+    def measure(arm: str, config: ServiceConfig,
+                cache=None, prime: bool = False) -> Dict:
+        service = SkeletonService(config, cache=cache)
+        if prime:
+            # Priming pass: populate the cache, then measure a fresh
+            # service sharing the same (now warm) cache handle.
+            run_workload(service, spec)
+            service = SkeletonService(config, cache=service.cache)
+        report = run_workload(service, spec)
+        _assert_served_bits(service, catalog, references, arm)
+        return _arm_entry(report, verified=True)
+
+    arms = {
+        "cold": measure("cold", ServiceConfig(
+            dedup=False, cache_results=False, max_queue=max(64, clients))),
+        "cold_dedup": measure("cold_dedup", ServiceConfig(
+            dedup=True, cache_results=False, max_queue=max(64, clients))),
+        "warm": measure("warm", ServiceConfig(
+            dedup=False, cache_results=True, max_queue=max(64, clients)),
+            prime=True),
+        "warm_dedup": measure("warm_dedup", ServiceConfig(
+            dedup=True, cache_results=True, max_queue=max(64, clients)),
+            prime=True),
+    }
+    cold_rps = arms["cold"]["rps"]
+    for arm in ("cold_dedup", "warm", "warm_dedup"):
+        arms[arm]["speedup_vs_cold"] = round(
+            arms[arm]["rps"] / cold_rps, 2) if cold_rps else 0.0
+    return {
+        "benchmark": "serving",
+        "protocol": ("one seeded Zipf closed-loop workload per arm; every "
+                     "arm's served artifacts asserted bit-identical to "
+                     "direct pipeline runs"),
+        "seed": seed,
+        "requests": requests,
+        "clients": clients,
+        "catalog_size": catalog_size,
+        "nodes": num_nodes,
+        "zipf_s": zipf_s,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "arms": arms,
+    }
+
+
+def write_report(report: Dict, path: Optional[Path] = None) -> Path:
+    path = path if path is not None else OUTPUT_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Benchmark SkeletonService: cold/warm x dedup arms.")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--requests", type=int, default=120)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--catalog", type=int, default=6)
+    parser.add_argument("--nodes", type=int, default=220)
+    parser.add_argument("--zipf", type=float, default=1.2)
+    args = parser.parse_args(argv)
+    report = run_serving_bench(seed=args.seed, requests=args.requests,
+                               clients=args.clients,
+                               catalog_size=args.catalog,
+                               num_nodes=args.nodes, zipf_s=args.zipf)
+    path = write_report(report)
+    print(f"cpu_count={report['cpu_count']}  requests={report['requests']} "
+          f"catalog={report['catalog_size']}x{report['nodes']} nodes")
+    for arm, data in report["arms"].items():
+        extra = (f" ({data['speedup_vs_cold']:.2f}x vs cold)"
+                 if "speedup_vs_cold" in data else "")
+        print(f"{arm:<11} {data['rps']:9.1f} req/s  "
+              f"p50={data['latency_p50_ms']:.2f}ms "
+              f"p99={data['latency_p99_ms']:.2f}ms  "
+              f"computed={data['computed']} cache={data['cache_hits']} "
+              f"dedup={data['dedup_hits']}{extra}")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

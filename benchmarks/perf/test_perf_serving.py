@@ -1,0 +1,39 @@
+"""Perf gate for the serving layer (``-m perf``).
+
+Bit-identity of every served artifact is asserted inside the bench
+itself, unconditionally — it holds on any machine.  The throughput
+acceptance is the ISSUE's: on a repeat-heavy Zipf workload the warm
+cache + dedup configuration must sustain at least twice the cold
+(no-cache, no-dedup) request rate, because that is the entire point of
+content-addressed serving.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from .serving_bench import run_serving_bench, write_report
+
+pytestmark = pytest.mark.perf
+
+REQUESTS = int(os.environ.get("REPRO_PERF_SERVING_REQUESTS", "120"))
+
+
+def test_serving_throughput_and_bit_identity():
+    report = run_serving_bench(requests=REQUESTS)  # asserts bit-identity
+    write_report(report)
+    arms = report["arms"]
+    for arm in arms.values():
+        assert arm["identical_to_direct"]
+        assert arm["failed"] == 0 and arm["shed"] == 0
+    # cold arms never serve from a cache; warm arms barely compute
+    assert arms["cold"]["cache_hits"] == 0
+    assert arms["cold"]["dedup_hits"] == 0
+    assert arms["cold"]["computed"] == REQUESTS
+    assert arms["cold_dedup"]["dedup_hits"] >= 1
+    assert arms["warm"]["cache_hits"] == REQUESTS
+    assert arms["warm"]["computed"] == 0
+    # Acceptance: warm + dedup sustains >= 2x the cold request rate.
+    assert arms["warm_dedup"]["speedup_vs_cold"] >= 2.0

@@ -1,0 +1,22 @@
+"""Shared CLI plumbing for the ``python -m repro.*`` entry points."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: The one-line recovery hint printed when a worker process (or a
+#: late import) raises ``ModuleNotFoundError: repro``.  The usual cause
+#: is a spawn-mode pool worker started without the repo's src-layout on
+#: ``sys.path`` — the tier-1 convention fixes it.
+TIER1_HINT = (
+    "error: cannot import 'repro' in a worker process; the repo uses a "
+    "src/ layout, so run with PYTHONPATH=src (tier-1 convention: "
+    "PYTHONPATH=src python -m ...)"
+)
+
+
+def repro_import_hint(exc: ModuleNotFoundError) -> Optional[str]:
+    """The tier-1 hint if *exc* is a failure to import ``repro`` (or a
+    submodule), else ``None`` so the caller re-raises unrelated errors."""
+    name = (exc.name or "").split(".")[0]
+    return TIER1_HINT if name == "repro" else None

@@ -24,6 +24,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cli import repro_import_hint
 from ..network import FIG7_EPSILONS, FIG8_SCENARIOS
 from ..perf import ArtifactCache, ParallelRunner, effective_jobs, \
     set_task_context, task_context
@@ -173,9 +174,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     cache = ArtifactCache(disk_dir=args.cache_dir) if args.cache_dir else \
         ArtifactCache()
-    reports = run_figure_suite(scale=args.scale, seed=args.seed,
-                               jobs=args.jobs, cache=cache,
-                               runners=args.runners)
+    try:
+        reports = run_figure_suite(scale=args.scale, seed=args.seed,
+                                   jobs=args.jobs, cache=cache,
+                                   runners=args.runners)
+    except ModuleNotFoundError as exc:
+        # Spawn-mode pool workers that can't import the src/ layout die
+        # with a bare ModuleNotFoundError; translate it to the tier-1
+        # PYTHONPATH hint instead of a traceback.
+        hint = repro_import_hint(exc)
+        if hint is None:
+            raise
+        print(hint, file=sys.stderr)
+        return 2
     for report in reports:
         report.print()
         print()

@@ -190,6 +190,35 @@ class ArtifactCache:
 
     # -- lookups ------------------------------------------------------------
 
+    def lookup(self, stage: str, key_parts: Any,
+               tracer=None) -> Tuple[bool, Any]:
+        """``(hit, value)`` for ``(stage, key_parts)`` without building.
+
+        The counted half of :meth:`get_or_build`, exposed for callers —
+        the serving layer foremost — that must decide *whether* to
+        publish an artifact after computing it (a degraded partial result
+        must never be cached as if it were the real thing).  The lookup
+        is counted per stage and reported through ``tracer.on_cache``
+        exactly like :meth:`get_or_build`.
+        """
+        key = self.make_key(stage, key_parts)
+        hit, value = self._lookup(key, stage=stage, tracer=tracer)
+        if hit:
+            self._hits[stage] = self._hits.get(stage, 0) + 1
+        else:
+            self._misses[stage] = self._misses.get(stage, 0) + 1
+        if tracer is not None:
+            tracer.on_cache(stage, hit)
+        return hit, value
+
+    def put(self, stage: str, key_parts: Any, value: Any) -> None:
+        """Publish *value* under ``(stage, key_parts)`` in both tiers.
+
+        Not counted as a lookup; pairs with :meth:`lookup` for callers
+        that build conditionally.
+        """
+        self._store(self.make_key(stage, key_parts), value)
+
     def get_or_build(self, stage: str, key_parts: Any,
                      build: Callable[[], Any], tracer=None) -> Any:
         """Return the cached artifact for ``(stage, key_parts)``, building
@@ -200,18 +229,11 @@ class ArtifactCache:
         :class:`~repro.observability.metrics.MetricsReport` carries the
         hit rate.
         """
-        key = self.make_key(stage, key_parts)
-        hit, value = self._lookup(key, stage=stage, tracer=tracer)
-        if hit:
-            self._hits[stage] = self._hits.get(stage, 0) + 1
-        else:
-            self._misses[stage] = self._misses.get(stage, 0) + 1
-        if tracer is not None:
-            tracer.on_cache(stage, hit)
+        hit, value = self.lookup(stage, key_parts, tracer=tracer)
         if hit:
             return value
         value = build()
-        self._store(key, value)
+        self.put(stage, key_parts, value)
         return value
 
     def _lookup(self, key: str, stage: Optional[str] = None,

@@ -172,6 +172,13 @@ def _attempt_task(payload: Tuple) -> Any:
 
 _FAILED = object()  # resolution sentinel distinct from any task result
 
+_DEADLINE_ERROR = "DeadlineExceeded: budget exhausted before attempt"
+
+
+def _expired(deadline_at: Optional[float]) -> bool:
+    """Whether the wall-clock budget for new attempts has run out."""
+    return deadline_at is not None and time.perf_counter() >= deadline_at
+
 
 class ResilientRunner:
     """Supervised fan-out: ``ParallelRunner`` semantics plus retry,
@@ -222,19 +229,26 @@ class ResilientRunner:
     # -- serial path --------------------------------------------------------
 
     def _map_serial(self, fn: Callable[[Any], Any], configs: Sequence[Any],
-                    stage: str) -> List[TaskOutcome]:
+                    stage: str,
+                    deadline_at: Optional[float] = None) -> List[TaskOutcome]:
         outcomes: List[TaskOutcome] = []
         for index, config in enumerate(configs):
             errors: List[str] = []
             outcome: Optional[TaskOutcome] = None
+            started = 0
             for attempt in range(self.policy.max_attempts):
+                if _expired(deadline_at):
+                    errors.append(_DEADLINE_ERROR)
+                    break
+                started = attempt + 1
                 self._count(stage, "attempts")
                 try:
                     result = _attempt_task(
                         (fn, config, stage, index, attempt, self.fault_plan))
                 except Exception as exc:  # noqa: BLE001 - supervision point
                     errors.append(f"{type(exc).__name__}: {exc}")
-                    if attempt + 1 < self.policy.max_attempts:
+                    if attempt + 1 < self.policy.max_attempts \
+                            and not _expired(deadline_at):
                         self._note_retry(stage)
                         pause = self.policy.backoff_seconds(
                             stage, index, attempt + 1, self.fault_plan)
@@ -250,8 +264,8 @@ class ResilientRunner:
                 self._note_failure(stage)
                 outcome = TaskOutcome(
                     index=index, ok=False,
-                    attempts=self.policy.max_attempts,
-                    retries=self.policy.max_attempts - 1,
+                    attempts=started,
+                    retries=max(0, started - 1),
                     errors=tuple(errors))
             outcomes.append(outcome)
         return outcomes
@@ -259,7 +273,9 @@ class ResilientRunner:
     # -- parallel path ------------------------------------------------------
 
     def _map_parallel(self, fn: Callable[[Any], Any], configs: Sequence[Any],
-                      stage: str) -> List[TaskOutcome]:
+                      stage: str,
+                      deadline_at: Optional[float] = None
+                      ) -> List[TaskOutcome]:
         policy = self.policy
         n = len(configs)
         workers = min(self.jobs, n)
@@ -286,6 +302,12 @@ class ResilientRunner:
             return sum(1 for idx, _, _ in pending.values() if idx == index)
 
         def retry_or_fail(index: int) -> None:
+            if _expired(deadline_at):
+                if in_flight(index) == 0:
+                    errors[index].append(_DEADLINE_ERROR)
+                    resolved[index] = _FAILED
+                    self._note_failure(stage)
+                return
             if attempts_started[index] < policy.max_attempts:
                 retries[index] += 1
                 self._note_retry(stage)
@@ -300,7 +322,12 @@ class ResilientRunner:
 
         try:
             for index in range(n):
-                submit(index)
+                if _expired(deadline_at):
+                    errors[index].append(_DEADLINE_ERROR)
+                    resolved[index] = _FAILED
+                    self._note_failure(stage)
+                else:
+                    submit(index)
             while len(resolved) < n:
                 if not pending:  # pragma: no cover - defensive
                     for index in range(n):
@@ -359,6 +386,7 @@ class ResilientRunner:
                 # Straggler sweep: anything older than the percentile
                 # deadline gets one speculative duplicate (budget allowing).
                 if (policy.speculate and workers > 1
+                        and not _expired(deadline_at)
                         and len(durations) >= policy.straggler_min_samples):
                     deadline = max(
                         policy.straggler_min_seconds,
@@ -394,13 +422,26 @@ class ResilientRunner:
     # -- public API ---------------------------------------------------------
 
     def map(self, fn: Callable[[Any], Any], configs: Sequence[Any],
-            stage: str = "task") -> List[TaskOutcome]:
+            stage: str = "task",
+            deadline_at: Optional[float] = None) -> List[TaskOutcome]:
         """Run ``fn`` over *configs* under supervision; outcomes in config
-        order.  Never raises for task failures — inspect ``ok``."""
+        order.  Never raises for task failures — inspect ``ok``.
+
+        *deadline_at* (a ``time.perf_counter`` instant) is a hard budget
+        on *starting* work: once it passes, no further attempt — first
+        try, retry or speculation — is launched, and every task that has
+        nothing in flight is declared failed with a ``DeadlineExceeded``
+        error.  Attempts already running are allowed to finish (a pure
+        task function cannot be safely interrupted), so results that beat
+        the deadline by racing it are kept.  ``deadline_at=None`` (the
+        default) preserves the unbounded behaviour.
+        """
         configs = list(configs)
         if self.jobs == 1 or len(configs) <= 1:
-            return self._map_serial(fn, configs, stage)
-        return self._map_parallel(fn, configs, stage)
+            return self._map_serial(fn, configs, stage,
+                                    deadline_at=deadline_at)
+        return self._map_parallel(fn, configs, stage,
+                                  deadline_at=deadline_at)
 
     def map_results(self, fn: Callable[[Any], Any], configs: Sequence[Any],
                     stage: str = "task") -> List[Any]:

@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from ..cli import repro_import_hint
 from ..core import SkeletonParams, extract_skeleton
 from ..network import MEGA_SCENARIOS, PAPER_SCENARIOS, get_mega_spec, get_scenario
 from ..observability import Tracer, write_chrome_trace
@@ -98,8 +99,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     cache = ArtifactCache(disk_dir=args.cache_dir) if args.cache_dir else None
     tracer = Tracer(record_events=bool(args.trace_out))
-    run = run_sharded(network, params, grid=args.grid, jobs=args.jobs,
-                      cache=cache, tracer=tracer, supervisor=supervisor)
+    try:
+        run = run_sharded(network, params, grid=args.grid, jobs=args.jobs,
+                          cache=cache, tracer=tracer, supervisor=supervisor)
+    except ModuleNotFoundError as exc:
+        # Spawn-mode pool workers that can't import the src/ layout die
+        # with a bare ModuleNotFoundError; translate it to the tier-1
+        # PYTHONPATH hint instead of a traceback.
+        hint = repro_import_hint(exc)
+        if hint is None:
+            raise
+        print(hint, file=sys.stderr)
+        return 2
 
     gx, gy = run.plan.grid
     print(f"{args.scenario}: n={network.num_nodes} "

@@ -112,7 +112,8 @@ def run_sharded(network: SensorNetwork,
                 cache=None,
                 tracer: Optional["Tracer"] = None,
                 supervisor: Optional[SupervisorPolicy] = None,
-                fault_plan: Optional[ExecutorFaultPlan] = None) -> ShardRun:
+                fault_plan: Optional[ExecutorFaultPlan] = None,
+                deadline_seconds: Optional[float] = None) -> ShardRun:
     """Tile, extract and merge; the full accounting variant.
 
     ``jobs`` follows the suite convention (explicit > ``REPRO_JOBS`` >
@@ -130,10 +131,21 @@ def run_sharded(network: SensorNetwork,
     :class:`~repro.resilience.DegradedReport` stating exactly what was
     lost.  With no injected faults and none occurring naturally, the
     supervised run is bit-identical to the unsupervised one.
+
+    *deadline_seconds* caps the wall-clock budget for launching shard
+    work: tasks that cannot start before it elapses are treated exactly
+    like budget-exhausted tasks, so the run returns a partial skeleton
+    plus a :class:`~repro.resilience.DegradedReport` instead of running
+    long.  A deadline implies supervision (it needs the graceful-
+    degradation path), so passing one without *supervisor* enables the
+    default :class:`~repro.resilience.SupervisorPolicy`.
     """
     params = params if params is not None else SkeletonParams()
     worker_count = effective_jobs(jobs)
-    supervised = supervisor is not None or fault_plan is not None
+    supervised = (supervisor is not None or fault_plan is not None
+                  or deadline_seconds is not None)
+    deadline_at = (time.perf_counter() + max(0.0, deadline_seconds)
+                   if deadline_seconds is not None else None)
     if supervised:
         runner = ResilientRunner(jobs=worker_count, policy=supervisor,
                                  fault_plan=fault_plan, tracer=tracer)
@@ -156,7 +168,8 @@ def run_sharded(network: SensorNetwork,
         try:
             if not supervised:
                 return runner.map(fn, configs), []
-            outcomes = runner.map(fn, configs, stage=stage)
+            outcomes = runner.map(fn, configs, stage=stage,
+                                  deadline_at=deadline_at)
         finally:
             set_task_context(*previous)
         failed = [o.index for o in outcomes if not o.ok]
@@ -332,8 +345,10 @@ def extract_skeleton_sharded(network: SensorNetwork,
                              tracer: Optional["Tracer"] = None,
                              supervisor: Optional[SupervisorPolicy] = None,
                              fault_plan: Optional[ExecutorFaultPlan] = None,
+                             deadline_seconds: Optional[float] = None,
                              ) -> SkeletonResult:
     """One-call sharded extraction, returning just the result record."""
     return run_sharded(network, params, grid=grid, jobs=jobs, cache=cache,
                        tracer=tracer, supervisor=supervisor,
-                       fault_plan=fault_plan).result
+                       fault_plan=fault_plan,
+                       deadline_seconds=deadline_seconds).result

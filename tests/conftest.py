@@ -9,6 +9,16 @@ import random
 
 import pytest
 
+try:
+    import repro  # noqa: F401 - probe the src/ layout before anything else
+except ModuleNotFoundError as exc:  # pragma: no cover - misconfiguration aid
+    if (exc.name or "").split(".")[0] == "repro":
+        raise ModuleNotFoundError(
+            "cannot import 'repro': the repo uses a src/ layout, so run the "
+            "suite with PYTHONPATH=src (tier-1 convention: "
+            "PYTHONPATH=src python -m pytest -x -q)") from exc
+    raise
+
 from repro.core import SkeletonExtractor
 from repro.geometry import make_field
 from repro.network import UnitDiskRadio, build_network

@@ -45,6 +45,46 @@ class TestTimingEntries:
         assert entries["suite/serial/wall_s"] == 2.0
 
 
+def _serving_report(wall_s=2.0, p99_ms=20.0):
+    return {
+        "benchmark": "serving",
+        "seed": 7, "requests": 120, "clients": 6,
+        "arms": {
+            "cold": {"wall_s": wall_s, "latency_p99_ms": p99_ms},
+            "warm_dedup": {"wall_s": 0.1, "latency_p99_ms": 0.5},
+        },
+    }
+
+
+class TestServingShape:
+    def test_serving_shape_flattens_with_its_own_prefix(self):
+        entries = timing_entries(_serving_report())
+        assert entries["serving/cold/wall_s"] == 2.0
+        assert entries["serving/cold/latency_p99_s"] == 0.02
+        assert entries["serving/warm_dedup/wall_s"] == 0.1
+        # no entry may masquerade as a suite arm
+        assert not any(label.startswith("suite/") for label in entries)
+
+    def test_serving_regression_gates(self, tmp_path, capsys):
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        base.write_text(json.dumps(_serving_report(wall_s=2.0, p99_ms=20.0)))
+        fresh.write_text(json.dumps(_serving_report(wall_s=2.1, p99_ms=60.0)))
+        assert main([str(base), str(fresh), "--gate"]) == 1
+        out = capsys.readouterr().out
+        assert "serving/cold/latency_p99_s" in out
+
+    def test_matching_serving_reports_compare_clean(self, tmp_path):
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        base.write_text(json.dumps(_serving_report()))
+        fresh.write_text(json.dumps(_serving_report(wall_s=2.1)))
+        assert main([str(base), str(fresh), "--gate"]) == 0
+
+    def test_seed_mismatch_is_incomparable(self):
+        other = dict(_serving_report(), seed=8)
+        assert "seed differs" in comparability_error(_serving_report(),
+                                                     other)
+
+
 class TestComparability:
     def test_matching_shard_reports_compare(self):
         assert comparability_error(_shard_report(), _shard_report()) is None
